@@ -1,0 +1,156 @@
+package repro
+
+// The benchmark harness: one benchmark per paper artefact (Figures 1-6,
+// claims C1-C11, the Section-V taxonomy T1, ablations A1/A2). Each bench
+// regenerates its experiment end to end and reports the headline paper
+// metric(s) via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem .
+//
+// prints the reproduction table alongside cost. Every run is deterministic
+// for a fixed seed.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// benchExperiment runs one registered experiment per iteration and reports
+// the named metrics.
+func benchExperiment(b *testing.B, id string, metrics ...string) {
+	b.Helper()
+	runner := core.Experiments[id]
+	if runner == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var last *core.Result
+	for i := 0; i < b.N; i++ {
+		res, err := runner(uint64(1 + i))
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if !res.Pass {
+			b.Fatalf("%s did not reproduce:\n%s", id, res.Render())
+		}
+		last = res
+	}
+	for _, m := range metrics {
+		if v, ok := last.Metric(m); ok {
+			b.ReportMetric(v, m)
+		}
+	}
+}
+
+// --- Figures ---
+
+func BenchmarkFig1StuxnetOperation(b *testing.B) {
+	benchExperiment(b, "F1", "centrifuges_destroyed", "zero_days_armed")
+}
+
+func BenchmarkFig2WPADMitm(b *testing.B) {
+	benchExperiment(b, "F2", "victims_proxied_via_wpad", "infected_via_fake_update")
+}
+
+func BenchmarkFig3CertForging(b *testing.B) {
+	benchExperiment(b, "F3", "weak_hash_collision_found", "post_advisory_rejected")
+}
+
+func BenchmarkFig4CnCPlatform(b *testing.B) {
+	benchExperiment(b, "F4", "registered_domains", "distinct_server_ips", "domains_after_first_contact")
+}
+
+func BenchmarkFig5CnCServer(b *testing.B) {
+	benchExperiment(b, "F5", "coordinator_decrypted", "operator_decrypt_blocked")
+}
+
+func BenchmarkFig6ShamoonComponents(b *testing.B) {
+	benchExperiment(b, "F6", "encrypted_resources", "xor_keys_recovered", "main_image_bytes")
+}
+
+// --- Claims ---
+
+func BenchmarkClaimC1ZeroDays(b *testing.B) {
+	benchExperiment(b, "C1", "distinct_zero_days")
+}
+
+func BenchmarkClaimC2Centrifuge(b *testing.B) {
+	benchExperiment(b, "C2", "attack_destroyed", "control_week_destroyed")
+}
+
+func BenchmarkClaimC3Targeting(b *testing.B) {
+	benchExperiment(b, "C3", "natanz-match_destroyed", "wrong-vendors_destroyed", "no-profibus_destroyed")
+}
+
+func BenchmarkClaimC4FlameSize(b *testing.B) {
+	benchExperiment(b, "C4", "bare_bytes", "deployed_bytes")
+}
+
+func BenchmarkClaimC5ExfilVolume(b *testing.B) {
+	benchExperiment(b, "C5", "total_stolen_bytes_week", "documents_stolen")
+}
+
+func BenchmarkClaimC6Suicide(b *testing.B) {
+	benchExperiment(b, "C6", "artefacts_before", "artefacts_after")
+}
+
+// BenchmarkClaimC7AramcoScale runs the full 30,000-workstation fleet —
+// the repository's heaviest workload (~7 s, ~1 GB per iteration).
+func BenchmarkClaimC7AramcoScale(b *testing.B) {
+	benchExperiment(b, "C7", "fleet_size", "wiped_unbootable")
+}
+
+func BenchmarkClaimC8JPEGBug(b *testing.B) {
+	benchExperiment(b, "C8", "buggy_overwrite_bytes")
+}
+
+func BenchmarkClaimC9Reporter(b *testing.B) {
+	benchExperiment(b, "C9", "reports_received")
+}
+
+func BenchmarkClaimC10AirGap(b *testing.B) {
+	benchExperiment(b, "C10", "documents_parked_on_stick", "documents_reaching_center")
+}
+
+func BenchmarkClaimC11Bluetooth(b *testing.B) {
+	benchExperiment(b, "C11", "distinct_device_sightings")
+}
+
+// --- Taxonomy and ablations ---
+
+func BenchmarkTrendTaxonomy(b *testing.B) {
+	benchExperiment(b, "T1",
+		"stuxnet_sophisticated", "flame_sophisticated", "shamoon_sophisticated",
+		"shamoon_suiciding")
+}
+
+func BenchmarkAblationPatching(b *testing.B) {
+	benchExperiment(b, "A1", "infection_rate_patched_0%", "infection_rate_patched_100%")
+}
+
+func BenchmarkAblationAdvisory(b *testing.B) {
+	benchExperiment(b, "A2",
+		"update_infections_advisory_after_0h", "update_infections_advisory_after_48h")
+}
+
+func BenchmarkAblationEpidemicCurve(b *testing.B) {
+	benchExperiment(b, "A3", "hours_to_50pct", "hours_to_100pct")
+}
+
+// --- Extensions: the paper's other two named weapons ---
+
+func BenchmarkExtDuquTargeting(b *testing.B) {
+	benchExperiment(b, "E1", "targets_infected", "non_targets_refused", "distinct_victim_modules")
+}
+
+func BenchmarkExtGaussGodel(b *testing.B) {
+	benchExperiment(b, "E2", "godel_detonations", "bank_credentials_matched")
+}
+
+func BenchmarkExtLineage(b *testing.B) {
+	benchExperiment(b, "E3", "sim_stuxnet_duqu", "sim_flame_gauss", "sim_stuxnet_shamoon")
+}
+
+func BenchmarkExtSinkhole(b *testing.B) {
+	benchExperiment(b, "E4", "sinkhole_checkins_fl", "surviving_types")
+}

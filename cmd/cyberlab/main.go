@@ -1,0 +1,99 @@
+// Command cyberlab runs the paper-reproduction experiments: every figure
+// (F1–F6), every quantitative claim (C1–C11), the Section-V trend
+// taxonomy (T1) and the ablations (A1, A2). See DESIGN.md for the index.
+//
+// Usage:
+//
+//	cyberlab -list
+//	cyberlab -run F1 [-seed 7]
+//	cyberlab -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cyberlab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cyberlab", flag.ContinueOnError)
+	var (
+		list = fs.Bool("list", false, "list experiment IDs and exit")
+		id   = fs.String("run", "", "run a single experiment by ID (e.g. F1)")
+		all  = fs.Bool("all", false, "run every experiment")
+		seed = fs.Uint64("seed", 1, "deterministic simulation seed")
+		out  = fs.String("o", "", "also write the report to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var report strings.Builder
+	emit := func(format string, a ...any) {
+		fmt.Fprintf(&report, format, a...)
+		fmt.Printf(format, a...)
+	}
+	defer func() {
+		if *out != "" {
+			if werr := os.WriteFile(*out, []byte(report.String()), 0o644); werr != nil {
+				fmt.Fprintln(os.Stderr, "cyberlab: write report:", werr)
+			}
+		}
+	}()
+
+	switch {
+	case *list:
+		for _, eid := range core.ExperimentIDs() {
+			fmt.Println(eid)
+		}
+		return nil
+	case *id != "":
+		runner, ok := core.Experiments[*id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", *id)
+		}
+		started := time.Now()
+		res, err := runner(*seed)
+		if err != nil {
+			return err
+		}
+		emit("%s", res.Render())
+		emit("  wall time: %v\n", time.Since(started).Round(time.Millisecond))
+		if !res.Pass {
+			return fmt.Errorf("experiment %s did not reproduce", *id)
+		}
+		return nil
+	case *all:
+		started := time.Now()
+		results, err := core.RunAll(*seed)
+		if err != nil {
+			return err
+		}
+		failed := 0
+		for _, res := range results {
+			emit("%s\n", res.Render())
+			if !res.Pass {
+				failed++
+			}
+		}
+		emit("%d/%d experiments reproduced (seed %d, wall %v)\n",
+			len(results)-failed, len(results), *seed, time.Since(started).Round(time.Millisecond))
+		if failed > 0 {
+			return fmt.Errorf("%d experiments failed", failed)
+		}
+		return nil
+	default:
+		fs.Usage()
+		return fmt.Errorf("specify -list, -run ID, or -all")
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"-run", "F3", "-seed", "3"}); err != nil {
+		t.Fatalf("run F3: %v", err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "ZZ"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestNoModeIsError(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no mode accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

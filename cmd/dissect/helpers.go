@@ -1,0 +1,15 @@
+package main
+
+import (
+	"repro/internal/cnc"
+	"repro/internal/core"
+	"repro/internal/pki"
+)
+
+// pkiCert shortens the certificate slice literal in main.go.
+type pkiCert = pki.Certificate
+
+// newMiniCenter provisions a tiny C&C platform, enough for a flame build.
+func newMiniCenter(w *core.World) (*cnc.AttackCenter, error) {
+	return cnc.NewAttackCenter(w.K, w.Internet, 5, 1)
+}

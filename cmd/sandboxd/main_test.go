@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestDetonateAllSamples(t *testing.T) {
+	for _, sample := range []string{"shamoon", "stuxnet", "flame"} {
+		if err := run([]string{"-sample", sample, "-observe", "26h"}); err != nil {
+			t.Fatalf("sandboxd %s: %v", sample, err)
+		}
+	}
+}
+
+func TestDetonateWithAV(t *testing.T) {
+	if err := run([]string{"-sample", "shamoon", "-observe", "1h", "-av"}); err != nil {
+		t.Fatalf("sandboxd -av: %v", err)
+	}
+}
+
+func TestUnknownSample(t *testing.T) {
+	if err := run([]string{"-sample", "mystery"}); err == nil {
+		t.Fatal("unknown sample accepted")
+	}
+}

@@ -1,0 +1,15 @@
+// Package repro is a pure-Go reproduction of "The Middle East under
+// Malware Attack: Dissecting Cyber Weapons" (Zhioua, ICDCS Workshops
+// 2013): a deterministic discrete-event cyber-range in which behavioural
+// models of Stuxnet, Flame and Shamoon run against simulated Windows
+// hosts, networks, PKI, C&C infrastructure and a centrifuge plant, plus
+// the dissection toolchain (synthetic-PE static analysis, a YARA-like rule
+// engine, a behavioural sandbox, and the Section-V trend classifier) that
+// reproduces every figure and quantitative claim in the paper as an
+// executable experiment.
+//
+// See DESIGN.md for the system inventory and experiment index,
+// EXPERIMENTS.md for paper-vs-measured results, and the examples/
+// directory for runnable scenarios. The benchmark harness in bench_test.go
+// regenerates every figure and claim: go test -bench=. -benchmem .
+package repro

@@ -1,0 +1,97 @@
+// Flamecampaign: the Figures 2/4/5 scenario — an espionage campaign with
+// the full C&C platform (80 domains / 22 servers), WPAD man-in-the-middle
+// spread via a forged-signature Windows Update, two-stage document theft,
+// bluetooth reconnaissance, and the final SUICIDE broadcast.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/malware/flame"
+	"repro/internal/netsim"
+)
+
+func main() {
+	w, err := core.NewWorld(core.WorldConfig{Seed: 2012})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := core.BuildEspionage(w, core.EspionageOptions{
+		Hosts: 8, DocsPerHost: 60,
+		BeaconEvery: 2 * time.Hour, CollectEvery: 6 * time.Hour,
+		Microphones: true, Bluetooth: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== C&C platform (Fig. 4) ===")
+	fmt.Printf("domains registered: %d over %d server IPs\n",
+		len(sc.Center.Pool.Domains()), len(sc.Center.Pool.IPs()))
+	fmt.Printf("patient zero: %s (bare install %d KB)\n",
+		sc.Patient0.Name, sc.Flame.DeployedBytes(sc.Patient0.Name)/1024)
+
+	fmt.Println("\n=== Spread via WPAD + fake update (Fig. 2) ===")
+	sc.PushSpreadModules()
+	w.K.RunFor(4 * time.Hour) // modules arrive at patient zero
+	for _, h := range sc.Hosts[1:] {
+		sc.LAN.BrowserLaunch(h) // WPAD hijack
+		netsim.CheckForUpdates(sc.LAN, h)
+	}
+	fmt.Printf("agents after update MITM: %d of %d hosts\n", sc.Flame.InfectedCount(), len(sc.Hosts))
+	fmt.Printf("infections via fake update: %d\n", sc.Flame.Stats.UpdateInfections)
+
+	fmt.Println("\n=== Espionage week ===")
+	// The remaining capability modules arrive from C&C.
+	for _, m := range []string{flame.ModBeetlejuice, flame.ModAdventcfg} {
+		sc.Flame.PushModuleAll(m)
+	}
+	// Everyone is in the same office radio space with some phones nearby.
+	for _, h := range sc.Hosts {
+		w.Radio.PlaceHost(h, "ministry-office")
+	}
+	w.Radio.PlaceDevice("ministry-office", &netsim.BTDevice{Name: "Minister Phone", Kind: "phone", Owner: "vip"})
+	// The operator reviews metadata daily and tasks juicy files.
+	tasked := map[string]bool{}
+	w.K.Every(24*time.Hour, "operator-review", func() {
+		op := sc.Center.Operator()
+		op.CollectAll()
+		sc.Center.Coordinator().DecryptAll()
+		for _, doc := range sc.Center.Coordinator().Archive() {
+			text := string(doc.Data)
+			if !strings.HasPrefix(text, "jimmy: ") {
+				continue
+			}
+			path := strings.Fields(text)[1]
+			key := doc.ClientID + "|" + path
+			if !tasked[key] {
+				tasked[key] = true
+				op.PushCommand(doc.ClientID, flame.PkgSteal, []byte(path))
+			}
+		}
+	})
+	w.K.RunFor(7 * 24 * time.Hour)
+	fmt.Printf("metadata records: %d\n", sc.Flame.Stats.MetadataRecords)
+	fmt.Printf("documents stolen: %d\n", sc.Flame.Stats.DocumentsStolen)
+	fmt.Printf("audio captures: %d, bluetooth scans: %d\n",
+		sc.Flame.Stats.AudioCaptures, sc.Flame.Stats.BluetoothScans)
+	fmt.Printf("stolen bytes on servers this week: %.1f MB\n",
+		float64(sc.Center.TotalStolenBytes())/(1<<20))
+	fmt.Printf("fully deployed size on patient zero: %.1f MB\n",
+		float64(sc.Flame.DeployedBytes(sc.Patient0.Name))/(1<<20))
+
+	fmt.Println("\n=== Discovery and SUICIDE ===")
+	sc.Flame.PushSuicideAll()
+	w.K.RunFor(6 * time.Hour)
+	artefacts := 0
+	for _, h := range sc.Hosts {
+		artefacts += flame.ArtefactsPresent(h)
+	}
+	fmt.Printf("live agents after suicide: %d\n", sc.Flame.InfectedCount())
+	fmt.Printf("forensic artefacts remaining on %d hosts: %d\n", len(sc.Hosts), artefacts)
+	fmt.Printf("suicides completed: %d\n", sc.Flame.Stats.SuicidesCompleted)
+}

@@ -1,0 +1,89 @@
+// Hunting: the defender's side of the dissection. A fleet protected by a
+// signature AV whose rules arrive only after public disclosure; YARA
+// hunting across the estate; static triage of a captured sample with XOR
+// key recovery; and a sandbox detonation report — the paper's methodology
+// as an operational workflow.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/malware/shamoon"
+	"repro/internal/pe"
+)
+
+func main() {
+	start := shamoon.AramcoTrigger.Add(-72 * time.Hour)
+	w, err := core.NewWorld(core.WorldConfig{Seed: 7, Start: start})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := core.BuildAramco(w, core.AramcoOptions{Workstations: 40, DocsPerHost: 10, SpreadEvery: 4 * time.Hour})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== Day 0: pre-disclosure — AV has no signatures ===")
+	w.K.RunFor(24 * time.Hour)
+	fmt.Printf("infected: %d of %d (nothing detected)\n", sc.Shamoon.InfectedCount(), len(sc.Hosts))
+
+	fmt.Println("\n=== Day 1: a sample is captured; static triage ===")
+	rules, err := analysis.CompileDisclosureRules()
+	if err != nil {
+		log.Fatal(err)
+	}
+	an := &analysis.Analyzer{Store: w.PKI.BaseStore, Rules: rules}
+	rep, err := an.Analyze(sc.Shamoon.MainImage, w.K.Now())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep.Render())
+
+	fmt.Println("=== Day 1: fleet-wide YARA hunt ===")
+	// Hunt for dropped artefacts across every workstation's filesystem.
+	hits := 0
+	for _, h := range sc.Hosts {
+		if f, err := h.FS.Read(`C:\Windows\System32\trksvr.exe`); err == nil {
+			if img, err := pe.Parse(f.Data); err == nil {
+				raw, _ := img.Marshal()
+				if len(rules.ScanNames(raw)) > 0 {
+					hits++
+				}
+			}
+		}
+	}
+	fmt.Printf("hosts with rule hits on dropped TrkSvr.exe: %d of %d\n", hits, len(sc.Hosts))
+
+	fmt.Println("\n=== Day 1: sandbox detonation of the captured sample ===")
+	sb := analysis.NewSandbox(99, analysis.WithDecoyDocs(15))
+	shSandbox, err := shamoon.Build(sb.K, shamoon.Config{
+		TriggerAt:      sb.K.Now().Add(12 * time.Hour),
+		ReporterDomain: "home.attacker.example",
+		DriverKey:      w.PKI.EldosKey,
+		DriverCert:     w.PKI.EldosCert,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sb.Victim.CertStore.AddRoot(w.PKI.Root.Cert)
+	shSandbox.BindTo(sb.Registry)
+	behaviour := sb.Run(shSandbox.MainImage, 24*time.Hour)
+	fmt.Print(behaviour.Render())
+
+	fmt.Println("=== Day 1: combined IOC report (static + dynamic) ===")
+	iocs := analysis.ExtractIOCs(rep, behaviour)
+	fmt.Print(iocs.Render())
+
+	fmt.Println("=== Day 2: signatures deployed — new executions blocked ===")
+	clean := w.AddHost(sc.LAN, "WS-NEW-01")
+	clean.AddSecurity(analysis.NewSignatureAV("SimAV", rules))
+	if _, err := clean.Execute(sc.Shamoon.MainImage, true); err != nil {
+		fmt.Printf("execution on protected host: BLOCKED (%v)\n", err)
+	} else {
+		fmt.Println("execution on protected host: NOT BLOCKED (unexpected)")
+	}
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"strings"
+
+	"repro/internal/host"
+	"repro/internal/pe"
+	"repro/internal/yara"
+)
+
+// SignatureAV is a signature-based security product built on the yara
+// engine. It models the defensive posture the paper's malware had to
+// evade: detection is only as good as the deployed rule set, and rules
+// arrive *after* a family is discovered and dissected.
+type SignatureAV struct {
+	Product string
+	rules   *yara.RuleSet
+}
+
+var _ host.SecurityProduct = (*SignatureAV)(nil)
+
+// NewSignatureAV creates an AV with the given compiled rules (may be nil
+// for a rule-less scanner that detects nothing).
+func NewSignatureAV(product string, rules *yara.RuleSet) *SignatureAV {
+	return &SignatureAV{Product: product, rules: rules}
+}
+
+// Name implements host.SecurityProduct.
+func (av *SignatureAV) Name() string { return av.Product }
+
+// UpdateRules swaps in a new rule set (the vendor signature update that
+// follows public disclosure).
+func (av *SignatureAV) UpdateRules(rules *yara.RuleSet) { av.rules = rules }
+
+// ScanImage implements host.SecurityProduct.
+func (av *SignatureAV) ScanImage(h *host.Host, img *pe.File) string {
+	if av.rules == nil {
+		return ""
+	}
+	raw, err := img.Marshal()
+	if err != nil {
+		return ""
+	}
+	hits := av.rules.ScanNames(raw)
+	if len(hits) == 0 {
+		return ""
+	}
+	return strings.Join(hits, ",")
+}
+
+// DisclosureRules are the community signatures that became available once
+// each family was dissected — written against the artefact strings our
+// synthetic samples genuinely contain.
+var DisclosureRules = map[string]string{
+	"stuxnet": `
+rule Stuxnet_Main {
+    meta:
+        family = "stuxnet"
+        reference = "paper section II"
+    strings:
+        $dll = "s7otbxdx.dll"
+        $c2a = "mypremierfutbol"
+        $c2b = "todayfutbol"
+        $tmp = "~wtr4132.tmp"
+    condition:
+        $dll and ($c2a or $c2b) and $tmp
+}
+rule Stuxnet_Rootkit_Driver {
+    meta:
+        family = "stuxnet"
+    strings:
+        $a = "rootkit mrxcls.sys" nocase
+        $b = "rootkit mrxnet.sys" nocase
+    condition:
+        any of them
+}`,
+	"flame": `
+rule Flame_MainModule {
+    meta:
+        family = "flame"
+        reference = "paper section III"
+    strings:
+        $lua = "LUA VM loader"
+        $wpad = "wpad.dat"
+        $wu = "WuSetupV.exe"
+        $news = "GET_NEWS"
+    condition:
+        $lua and $wpad and ($wu or $news)
+}`,
+	"shamoon": `
+rule Shamoon_Dropper {
+    meta:
+        family = "shamoon"
+        reference = "paper section IV"
+    strings:
+        $svc = "TrkSvr" nocase
+        $drop = "wiper scheduler"
+    condition:
+        $svc and $drop
+}
+rule Shamoon_Wiper {
+    meta:
+        family = "shamoon"
+    strings:
+        $inf = "f1.inf"
+        $drv = "DRDISK.SYS" nocase
+        $jpg = { FF D8 FF E0 }
+    condition:
+        $inf and ($drv or $jpg)
+}`,
+}
+
+// CompileDisclosureRules compiles the post-disclosure signature sets for
+// the named families ("stuxnet", "flame", "shamoon"); with no arguments it
+// compiles all of them.
+func CompileDisclosureRules(families ...string) (*yara.RuleSet, error) {
+	if len(families) == 0 {
+		families = []string{"stuxnet", "flame", "shamoon"}
+	}
+	var src strings.Builder
+	for _, f := range families {
+		src.WriteString(DisclosureRules[f])
+		src.WriteByte('\n')
+	}
+	return yara.Compile(src.String())
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pe"
+)
+
+// shingleLen is the n-gram window for code-similarity analysis. Eight
+// bytes is long enough that shared shingles mean shared code, short enough
+// to survive relinking offsets in our synthetic images.
+const shingleLen = 8
+
+// ShingleSet is the hashed n-gram fingerprint of one sample's code.
+type ShingleSet struct {
+	Name string
+	set  map[uint64]struct{}
+}
+
+// Fingerprint builds the shingle set of an image's section contents.
+func Fingerprint(img *pe.File) *ShingleSet {
+	s := &ShingleSet{Name: img.Name, set: make(map[uint64]struct{})}
+	for _, sec := range img.Sections {
+		s.addData(sec.Data)
+	}
+	return s
+}
+
+// FingerprintData builds a shingle set over raw bytes.
+func FingerprintData(name string, data []byte) *ShingleSet {
+	s := &ShingleSet{Name: name, set: make(map[uint64]struct{})}
+	s.addData(data)
+	return s
+}
+
+func (s *ShingleSet) addData(data []byte) {
+	if len(data) < shingleLen {
+		return
+	}
+	// Rolling FNV-1a over fixed windows.
+	for i := 0; i+shingleLen <= len(data); i++ {
+		var h uint64 = 14695981039346656037
+		for j := 0; j < shingleLen; j++ {
+			h ^= uint64(data[i+j])
+			h *= 1099511628211
+		}
+		s.set[h] = struct{}{}
+	}
+}
+
+// Size returns the number of distinct shingles.
+func (s *ShingleSet) Size() int { return len(s.set) }
+
+// Jaccard returns |A∩B| / |A∪B| for two fingerprints.
+func Jaccard(a, b *ShingleSet) float64 {
+	if len(a.set) == 0 || len(b.set) == 0 {
+		return 0
+	}
+	small, large := a.set, b.set
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	inter := 0
+	for h := range small {
+		if _, ok := large[h]; ok {
+			inter++
+		}
+	}
+	union := len(a.set) + len(b.set) - inter
+	return float64(inter) / float64(union)
+}
+
+// SimilarityMatrix holds pairwise Jaccard similarities between samples.
+type SimilarityMatrix struct {
+	Names []string
+	Sim   [][]float64
+}
+
+// CompareSamples fingerprints every image and computes the full matrix.
+func CompareSamples(imgs ...*pe.File) *SimilarityMatrix {
+	sets := make([]*ShingleSet, len(imgs))
+	m := &SimilarityMatrix{
+		Names: make([]string, len(imgs)),
+		Sim:   make([][]float64, len(imgs)),
+	}
+	for i, img := range imgs {
+		sets[i] = Fingerprint(img)
+		m.Names[i] = img.Name
+		m.Sim[i] = make([]float64, len(imgs))
+	}
+	for i := range sets {
+		m.Sim[i][i] = 1
+		for j := i + 1; j < len(sets); j++ {
+			v := Jaccard(sets[i], sets[j])
+			m.Sim[i][j] = v
+			m.Sim[j][i] = v
+		}
+	}
+	return m
+}
+
+// Of returns the similarity between two named samples.
+func (m *SimilarityMatrix) Of(a, b string) float64 {
+	ai, bi := -1, -1
+	for i, n := range m.Names {
+		if n == a {
+			ai = i
+		}
+		if n == b {
+			bi = i
+		}
+	}
+	if ai < 0 || bi < 0 {
+		return 0
+	}
+	return m.Sim[ai][bi]
+}
+
+// Render prints the matrix as a table.
+func (m *SimilarityMatrix) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s", "sample")
+	for _, n := range m.Names {
+		fmt.Fprintf(&b, " %14s", truncName(n))
+	}
+	b.WriteByte('\n')
+	for i, n := range m.Names {
+		fmt.Fprintf(&b, "%-16s", truncName(n))
+		for j := range m.Names {
+			fmt.Fprintf(&b, " %14.3f", m.Sim[i][j])
+		}
+		b.WriteByte('\n')
+		_ = n
+	}
+	return b.String()
+}
+
+func truncName(n string) string {
+	if len(n) > 14 {
+		return n[:14]
+	}
+	return n
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/malware/platform"
+	"repro/internal/pe"
+	"repro/internal/sim"
+)
+
+func TestJaccardIdentityAndDisjoint(t *testing.T) {
+	a := FingerprintData("a", []byte("the quick brown fox jumps over the lazy dog"))
+	if got := Jaccard(a, a); got != 1 {
+		t.Fatalf("self similarity = %v", got)
+	}
+	b := FingerprintData("b", []byte("0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ!!!!"))
+	if got := Jaccard(a, b); got != 0 {
+		t.Fatalf("disjoint similarity = %v", got)
+	}
+	empty := FingerprintData("e", []byte("short"))
+	if got := Jaccard(a, empty); got != 0 {
+		t.Fatalf("empty similarity = %v", got)
+	}
+}
+
+func TestJaccardSharedBlock(t *testing.T) {
+	k := sim.NewKernel(sim.WithSeed(1))
+	shared := platform.Block(platform.Tilded, 32*1024)
+	a := append(append([]byte(nil), shared...), k.RNG().Bytes(32*1024)...)
+	b := append(append([]byte(nil), shared...), k.RNG().Bytes(32*1024)...)
+	c := k.RNG().Bytes(64 * 1024)
+
+	ab := Jaccard(FingerprintData("a", a), FingerprintData("b", b))
+	ac := Jaccard(FingerprintData("a", a), FingerprintData("c", c))
+	if ab < 0.2 {
+		t.Fatalf("shared-block similarity = %v, want substantial", ab)
+	}
+	if ac > 0.01 {
+		t.Fatalf("unrelated similarity = %v, want ~0", ac)
+	}
+	if ab <= ac {
+		t.Fatal("shared block did not dominate")
+	}
+}
+
+func TestCompareSamplesMatrix(t *testing.T) {
+	mk := func(name string, data []byte) *pe.File {
+		return &pe.File{Name: name, Machine: pe.MachineX86, Timestamp: sim.Epoch,
+			Sections: []pe.Section{{Name: ".text", Data: data}}}
+	}
+	k := sim.NewKernel(sim.WithSeed(2))
+	shared := platform.Block(platform.Flamer, 16*1024)
+	m := CompareSamples(
+		mk("x.exe", append(append([]byte(nil), shared...), k.RNG().Bytes(8*1024)...)),
+		mk("y.exe", append(append([]byte(nil), shared...), k.RNG().Bytes(8*1024)...)),
+		mk("z.exe", k.RNG().Bytes(24*1024)),
+	)
+	if m.Of("x.exe", "x.exe") != 1 {
+		t.Fatal("diagonal not 1")
+	}
+	if m.Of("x.exe", "y.exe") != m.Of("y.exe", "x.exe") {
+		t.Fatal("matrix not symmetric")
+	}
+	if m.Of("x.exe", "y.exe") <= m.Of("x.exe", "z.exe") {
+		t.Fatalf("lineage not recovered: xy=%v xz=%v", m.Of("x.exe", "y.exe"), m.Of("x.exe", "z.exe"))
+	}
+	if m.Of("x.exe", "ghost.exe") != 0 {
+		t.Fatal("unknown name should be 0")
+	}
+	out := m.Render()
+	if !strings.Contains(out, "x.exe") || !strings.Contains(out, "1.000") {
+		t.Fatalf("render = %s", out)
+	}
+}
+
+func TestFingerprintOverSections(t *testing.T) {
+	img := &pe.File{Name: "multi.exe", Machine: pe.MachineX86, Timestamp: sim.Epoch,
+		Sections: []pe.Section{
+			{Name: ".text", Data: []byte("section one content here")},
+			{Name: ".data", Data: []byte("section two content here")},
+		}}
+	fp := Fingerprint(img)
+	if fp.Size() == 0 || fp.Name != "multi.exe" {
+		t.Fatalf("fingerprint = %+v", fp)
+	}
+}

@@ -1,0 +1,38 @@
+package analysis
+
+import (
+	"time"
+
+	"repro/internal/malware/shamoon"
+	"repro/internal/pki"
+)
+
+// sandboxShamoon builds a Shamoon campaign inside a sandbox kernel,
+// triggering after the given delay, and binds it into the sandbox
+// registry.
+func sandboxShamoon(sb *Sandbox, triggerAfter time.Duration) (*shamoon.Shamoon, error) {
+	var rootSeed, keySeed [32]byte
+	rootSeed[0], keySeed[0] = 60, 61
+	now := sb.K.Now()
+	root := pki.NewRoot("Sandbox Root", pki.HashStrong, rootSeed, now.Add(-time.Hour), 100*365*24*time.Hour)
+	key := pki.NewKeypair(keySeed)
+	cert, err := root.Issue(now, pki.IssueRequest{
+		Subject: "Eldos Corporation", Usages: pki.UsageDriverSign,
+		Lifetime: 10 * 365 * 24 * time.Hour, PubKey: key.Public,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sb.Victim.CertStore.AddRoot(root.Cert)
+	sh, err := shamoon.Build(sb.K, shamoon.Config{
+		TriggerAt:      now.Add(triggerAfter),
+		ReporterDomain: "home.attacker.example",
+		DriverKey:      key,
+		DriverCert:     cert,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sh.BindTo(sb.Registry)
+	return sh, nil
+}

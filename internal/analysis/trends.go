@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TrendInput is the evidence a campaign presents to the Section-V
+// classifier — assembled from campaign stats, static reports and sandbox
+// behaviour.
+type TrendInput struct {
+	Family string
+
+	// Sophistication evidence.
+	ZeroDaysUsed      int
+	SignedComponents  bool
+	ForgedCertificate bool
+	ICSCapability     bool
+	CnCServerCount    int
+	ModularRuntime    bool // scripted/hot-swappable modules
+
+	// Targeting evidence.
+	HardwareFingerprinting bool
+	SpreadLimited          bool // e.g. per-USB infection caps
+	BroadWormBehaviour     bool // indiscriminate spread
+
+	// Certificate abuse evidence.
+	StolenCertificate     bool
+	LegitimateDriverAbuse bool
+
+	// Modularity evidence.
+	ModulesDownloadable bool
+	PerVictimModules    bool
+
+	// USB evidence.
+	USBInfectionVector bool
+	USBDataFerrying    bool
+
+	// Suicide evidence.
+	SelfRemoval   bool
+	RemoteTrigger bool
+
+	// Destructive evidence (separates Shamoon's profile).
+	Destructive bool
+}
+
+// TrendScore is one axis result.
+type TrendScore struct {
+	Axis      string
+	Score     int // 0..5
+	Rationale []string
+}
+
+// TrendProfile scores a campaign on the paper's six trend axes
+// (Section V-A through V-F).
+type TrendProfile struct {
+	Family string
+	Scores []TrendScore
+}
+
+// Axis names, matching the paper's subsection titles.
+const (
+	AxisSophisticated = "sophisticated"
+	AxisTargeted      = "targeted"
+	AxisCertified     = "certified"
+	AxisModular       = "modular"
+	AxisUSBSpreading  = "usb-spreading"
+	AxisSuiciding     = "suiciding"
+)
+
+// ClassifyTrends scores the evidence on the six axes.
+func ClassifyTrends(in TrendInput) TrendProfile {
+	p := TrendProfile{Family: in.Family}
+
+	soph := TrendScore{Axis: AxisSophisticated}
+	add := func(s *TrendScore, pts int, why string) {
+		s.Score += pts
+		s.Rationale = append(s.Rationale, why)
+	}
+	if in.ZeroDaysUsed > 0 {
+		pts := 1
+		if in.ZeroDaysUsed >= 3 {
+			pts = 2
+		}
+		add(&soph, pts, fmt.Sprintf("%d zero-day exploit(s)", in.ZeroDaysUsed))
+	}
+	if in.ICSCapability {
+		add(&soph, 1, "industrial-control attack capability")
+	}
+	if in.ForgedCertificate {
+		add(&soph, 1, "cryptographic certificate forging")
+	}
+	if in.CnCServerCount >= 10 {
+		add(&soph, 1, fmt.Sprintf("large C&C infrastructure (%d servers)", in.CnCServerCount))
+	}
+	if in.ModularRuntime {
+		add(&soph, 1, "scripted modular runtime")
+	}
+	p.Scores = append(p.Scores, clampScore(soph))
+
+	targ := TrendScore{Axis: AxisTargeted}
+	if in.HardwareFingerprinting {
+		add(&targ, 3, "payload gated on hardware fingerprint")
+	}
+	if in.SpreadLimited {
+		add(&targ, 2, "deliberately limited spreading")
+	}
+	if in.BroadWormBehaviour {
+		add(&targ, -1, "indiscriminate worm spread")
+	}
+	if targ.Score < 0 {
+		targ.Score = 0
+	}
+	if !in.HardwareFingerprinting && !in.SpreadLimited && !in.BroadWormBehaviour {
+		add(&targ, 2, "deployed against a specific organization")
+	}
+	p.Scores = append(p.Scores, clampScore(targ))
+
+	cert := TrendScore{Axis: AxisCertified}
+	if in.StolenCertificate {
+		add(&cert, 2, "stolen vendor certificate signs components")
+	}
+	if in.ForgedCertificate {
+		add(&cert, 2, "certificate forged via weak-hash collision")
+	}
+	if in.LegitimateDriverAbuse {
+		add(&cert, 1, "legitimate signed driver abused as-is")
+	}
+	p.Scores = append(p.Scores, clampScore(cert))
+
+	mod := TrendScore{Axis: AxisModular}
+	if in.ModulesDownloadable {
+		add(&mod, 3, "capabilities extended after deployment")
+	}
+	if in.ModularRuntime {
+		add(&mod, 1, "interpreted module runtime")
+	}
+	if in.PerVictimModules {
+		add(&mod, 1, "modules built per victim")
+	}
+	p.Scores = append(p.Scores, clampScore(mod))
+
+	usb := TrendScore{Axis: AxisUSBSpreading}
+	if in.USBInfectionVector {
+		add(&usb, 3, "USB drives as infection vector")
+	}
+	if in.USBDataFerrying {
+		add(&usb, 2, "USB drives ferry data from protected zones")
+	}
+	p.Scores = append(p.Scores, clampScore(usb))
+
+	sui := TrendScore{Axis: AxisSuiciding}
+	if in.SelfRemoval {
+		add(&sui, 3, "complete self-removal module")
+	}
+	if in.RemoteTrigger {
+		add(&sui, 2, "remotely triggered from the attack center")
+	}
+	if in.Destructive && !in.SelfRemoval {
+		add(&sui, 0, "no uninstaller: goal is destruction, not stealth")
+	}
+	p.Scores = append(p.Scores, clampScore(sui))
+
+	return p
+}
+
+func clampScore(s TrendScore) TrendScore {
+	if s.Score > 5 {
+		s.Score = 5
+	}
+	if s.Score < 0 {
+		s.Score = 0
+	}
+	return s
+}
+
+// Score returns the value for one axis (0 if absent).
+func (p *TrendProfile) Score(axis string) int {
+	for _, s := range p.Scores {
+		if s.Axis == axis {
+			return s.Score
+		}
+	}
+	return 0
+}
+
+// RenderTable renders profiles side by side, one row per axis.
+func RenderTable(profiles ...TrendProfile) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-15s", "trend")
+	for _, p := range profiles {
+		fmt.Fprintf(&b, " %10s", p.Family)
+	}
+	b.WriteByte('\n')
+	for _, axis := range []string{AxisSophisticated, AxisTargeted, AxisCertified, AxisModular, AxisUSBSpreading, AxisSuiciding} {
+		fmt.Fprintf(&b, "%-15s", axis)
+		for _, p := range profiles {
+			fmt.Fprintf(&b, " %10d", p.Score(axis))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package cnc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// AttackCenter is the single control point behind all C&C servers
+// (paper, Fig. 4), with the hierarchical role separation the dissection
+// highlighted: the admin prepares servers, the operator moves packages and
+// sealed entries through the control panel, and only the coordinator holds
+// the decryption key for stolen data.
+type AttackCenter struct {
+	K       *sim.Kernel
+	Seal    *SealKeypair
+	Pool    *DomainPool
+	Servers []*Server
+
+	// collected holds sealed entries the operator pulled from servers,
+	// awaiting the coordinator.
+	collected []*Entry
+	// decrypted is the coordinator's cleartext archive.
+	decrypted []StolenDoc
+}
+
+// StolenDoc is one decrypted exfiltrated document.
+type StolenDoc struct {
+	ClientID string
+	Name     string
+	Data     []byte
+}
+
+// NewAttackCenter provisions the full platform: coordinator keys, the
+// domain pool, one server per distinct pool IP, and DNS registration.
+func NewAttackCenter(k *sim.Kernel, in *netsim.Internet, nDomains, nIPs int) (*AttackCenter, error) {
+	seal, err := NewSealKeypair(k.RNG())
+	if err != nil {
+		return nil, err
+	}
+	center := &AttackCenter{K: k, Seal: seal}
+	center.Pool = NewDomainPool(k.RNG(), nDomains, nIPs)
+	center.Pool.RegisterAll(in)
+	for _, ip := range center.Pool.IPs() {
+		center.Servers = append(center.Servers, NewServer(k, in, ip, seal.Public))
+	}
+	return center, nil
+}
+
+// Admin returns the admin role handle.
+func (c *AttackCenter) Admin() Admin { return Admin{c} }
+
+// Operator returns the operator role handle.
+func (c *AttackCenter) Operator() Operator { return Operator{c} }
+
+// Coordinator returns the coordinator role handle.
+func (c *AttackCenter) Coordinator() Coordinator { return Coordinator{c} }
+
+// Admin prepares and maintains servers (ssh + scripts in the paper).
+type Admin struct{ c *AttackCenter }
+
+// ProvisionAll runs LogWiper and starts the 30-minute retention job on
+// every server.
+func (a Admin) ProvisionAll(retention time.Duration) {
+	for _, s := range a.c.Servers {
+		s.RunLogWiper()
+		s.StartCleanup(retention)
+	}
+}
+
+// Operator drives the control panel: uploading packages, downloading
+// sealed entries. The operator never sees plaintext.
+type Operator struct{ c *AttackCenter }
+
+// PushCommandAll queues a broadcast package on every server.
+func (o Operator) PushCommandAll(name string, payload []byte) {
+	for _, s := range o.c.Servers {
+		s.PushNews(&Package{Name: name, Payload: payload})
+	}
+}
+
+// PushCommand queues a targeted package on every server (the client may
+// contact any of them).
+func (o Operator) PushCommand(clientID, name string, payload []byte) {
+	for _, s := range o.c.Servers {
+		s.PushAd(clientID, &Package{Name: name, Payload: payload})
+	}
+}
+
+// CollectAll downloads unretrieved sealed entries from every server into
+// the attack center. It returns how many entries moved.
+func (o Operator) CollectAll() int {
+	n := 0
+	for _, s := range o.c.Servers {
+		entries := s.FetchEntries()
+		o.c.collected = append(o.c.collected, entries...)
+		n += len(entries)
+	}
+	if n > 0 {
+		o.c.K.Trace().Add(o.c.K.Now(), sim.CatC2, "attack-center", "operator collected %d sealed entries", n)
+	}
+	return n
+}
+
+// SealedInbox returns the sealed entries awaiting the coordinator.
+func (o Operator) SealedInbox() []*Entry { return o.c.collected }
+
+// TryRead attempts to read an entry as the operator — it always fails,
+// demonstrating the role separation the paper describes.
+func (o Operator) TryRead(e *Entry) ([]byte, error) {
+	return nil, ErrOperatorCannotDecrypt
+}
+
+// ErrOperatorCannotDecrypt marks the operator's lack of the private key.
+var ErrOperatorCannotDecrypt = errors.New("cnc: entry is sealed to the coordinator key; operator holds no private key")
+
+// Coordinator is the only role holding the seal private key.
+type Coordinator struct{ c *AttackCenter }
+
+// DecryptAll opens every collected entry into the cleartext archive,
+// returning how many documents were recovered.
+func (co Coordinator) DecryptAll() (int, error) {
+	n := 0
+	for _, e := range co.c.collected {
+		plain, err := co.c.Seal.Open(e.Sealed)
+		if err != nil {
+			return n, fmt.Errorf("decrypt entry %d: %w", e.ID, err)
+		}
+		co.c.decrypted = append(co.c.decrypted, StolenDoc{ClientID: e.ClientID, Name: e.Name, Data: plain})
+		n++
+	}
+	co.c.collected = co.c.collected[:0]
+	return n, nil
+}
+
+// Archive returns the decrypted documents.
+func (co Coordinator) Archive() []StolenDoc { return co.c.decrypted }
+
+// TotalStolenBytes sums sealed bytes ever received across all servers.
+func (c *AttackCenter) TotalStolenBytes() int64 {
+	var n int64
+	for _, s := range c.Servers {
+		n += s.TotalEntryBytes
+	}
+	return n
+}

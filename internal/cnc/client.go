@@ -1,0 +1,102 @@
+package cnc
+
+import (
+	"crypto/ecdh"
+	"errors"
+	"fmt"
+
+	"repro/internal/host"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// BeaconClient is the C&C client half compiled into an implant: a list of
+// known domains (5 at build time, ~10 after first contact), the client
+// identity, and the coordinator public key used to seal uploads.
+type BeaconClient struct {
+	ID      string
+	Type    ClientType
+	Domains []string
+	SealPub *ecdh.PublicKey
+	// Contacted records that at least one check-in succeeded.
+	Contacted bool
+}
+
+// ErrNoServer is returned when no configured domain answers.
+var ErrNoServer = errors.New("cnc: no configured C&C domain reachable")
+
+// PkgDomainUpdate is the package name carrying an expanded domain list
+// (newline-separated) pushed after first contact.
+const PkgDomainUpdate = "config:domains"
+
+// Contact performs one GET_NEWS cycle from h through its LAN, trying each
+// configured domain in order. Received domain-update packages are applied
+// to the client configuration; all packages are returned to the caller.
+func (bc *BeaconClient) Contact(l *netsim.LAN, h *host.Host) ([]*Package, error) {
+	for _, domain := range bc.Domains {
+		resp, err := l.HTTP(h, &netsim.Request{
+			Method: "POST",
+			Host:   domain,
+			Path:   ClientPath,
+			Query:  map[string]string{"cmd": CmdGetNews, "client": bc.ID, "type": string(bc.Type)},
+		})
+		if err != nil || resp.Status != 200 {
+			continue
+		}
+		pkgs, err := DecodePackages(resp.Body)
+		if err != nil {
+			continue
+		}
+		bc.Contacted = true
+		for _, p := range pkgs {
+			if p.Name == PkgDomainUpdate {
+				bc.applyDomainUpdate(p.Payload)
+			}
+		}
+		h.K.Trace().Add(h.K.Now(), sim.CatC2, h.Name, "checked in at %s: %d packages", domain, len(pkgs))
+		return pkgs, nil
+	}
+	return nil, fmt.Errorf("%w (%d domains tried)", ErrNoServer, len(bc.Domains))
+}
+
+func (bc *BeaconClient) applyDomainUpdate(payload []byte) {
+	known := make(map[string]bool, len(bc.Domains))
+	for _, d := range bc.Domains {
+		known[d] = true
+	}
+	start := 0
+	for i := 0; i <= len(payload); i++ {
+		if i == len(payload) || payload[i] == '\n' {
+			if d := string(payload[start:i]); d != "" && !known[d] {
+				known[d] = true
+				bc.Domains = append(bc.Domains, d)
+			}
+			start = i + 1
+		}
+	}
+}
+
+// Upload seals plaintext to the coordinator key and ADD_ENTRYs it to the
+// first reachable domain.
+func (bc *BeaconClient) Upload(l *netsim.LAN, h *host.Host, name string, plaintext []byte) error {
+	if bc.SealPub == nil {
+		return errors.New("cnc: client has no seal public key")
+	}
+	sealed, err := Seal(bc.SealPub, h.RNG, plaintext)
+	if err != nil {
+		return err
+	}
+	for _, domain := range bc.Domains {
+		resp, err := l.HTTP(h, &netsim.Request{
+			Method: "POST",
+			Host:   domain,
+			Path:   ClientPath,
+			Query:  map[string]string{"cmd": CmdAddEntry, "client": bc.ID, "type": string(bc.Type), "name": name},
+			Body:   sealed,
+		})
+		if err == nil && resp.Status == 200 {
+			return nil
+		}
+	}
+	return fmt.Errorf("upload %q: %w", name, ErrNoServer)
+}

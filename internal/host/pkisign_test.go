@@ -1,0 +1,11 @@
+package host
+
+import (
+	"repro/internal/pe"
+	"repro/internal/pki"
+)
+
+// pkiSign adapts pki.SignImage for edge tests.
+func pkiSign(img *pe.File, key *pki.Keypair, cert *pki.Certificate) error {
+	return pki.SignImage(img, key, cert)
+}

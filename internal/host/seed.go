@@ -1,0 +1,100 @@
+package host
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Document extensions the Flame JIMMY module hunts for (paper, III-A) plus
+// common filler types.
+var docExtensions = []string{"docx", "ppt", "csv", "dwg", "pdf", "xlsx", "txt", "jpg"}
+
+// User-profile folders the Shamoon wiper targets by name (paper, IV-B).
+var UserFolders = []string{"download", "document", "picture", "music", "video", "desktop"}
+
+// SeedDocuments populates the host with n synthetic user documents spread
+// across the standard profile folders, sized 1–64 KiB, for collection and
+// wiping experiments. It returns the total bytes written.
+func (h *Host) SeedDocuments(user string, n int) int64 {
+	return h.SeedDocumentsSized(user, n, 64*1024)
+}
+
+// SeedDocumentsSized is SeedDocuments with a maximum document size —
+// fleet-scale scenarios use small documents to keep tens of thousands of
+// hosts cheap.
+func (h *Host) SeedDocumentsSized(user string, n, maxBytes int) int64 {
+	if maxBytes < 2048 {
+		maxBytes = 2048
+	}
+	var total int64
+	for i := 0; i < n; i++ {
+		folder := UserFolders[h.RNG.Intn(len(UserFolders))]
+		ext := docExtensions[h.RNG.Intn(len(docExtensions))]
+		size := 1024 + h.RNG.Intn(maxBytes-1024)
+		path := fmt.Sprintf(`C:\Users\%s\%ss\report-%04d.%s`, user, folder, i, ext)
+		data := h.RNG.Bytes(size)
+		// Make the content partially printable so strings extraction and
+		// entropy analysis see document-like structure.
+		for j := 0; j < len(data); j += 2 {
+			data[j] = byte('a' + int(data[j])%26)
+		}
+		if err := h.FS.Write(path, data, 0, h.K.Now()); err == nil {
+			total += int64(size)
+		}
+	}
+	return total
+}
+
+// BrowserLogin is one stored browser credential.
+type BrowserLogin struct {
+	Domain   string
+	User     string
+	Password string
+}
+
+// BrowserProfilePath is where a user's stored logins live.
+func BrowserProfilePath(user string) string {
+	return `C:\Users\` + user + `\AppData\Roaming\browser\logins.db`
+}
+
+// SeedBrowserProfile writes a browser credential store for the user — the
+// banking-credential surface Gauss harvests.
+func (h *Host) SeedBrowserProfile(user string, logins []BrowserLogin) error {
+	var data []byte
+	for _, l := range logins {
+		data = append(data, []byte(l.Domain+"|"+l.User+"|"+l.Password+"\n")...)
+	}
+	return h.FS.Write(BrowserProfilePath(user), data, 0, h.K.Now())
+}
+
+// WipeCheck summarizes destructive-attack outcomes for one host.
+type WipeCheck struct {
+	Host        string
+	FilesWiped  int
+	MBRIntact   bool
+	Bootable    bool
+	WipedMarker bool
+}
+
+// CheckWipe inspects the host after a destructive attack: how many user
+// files now begin with the JPEG magic (the Shamoon overwrite artefact),
+// whether the MBR survived, and whether the host still boots.
+func (h *Host) CheckWipe() WipeCheck {
+	out := WipeCheck{Host: h.Name, WipedMarker: h.Wiped, Bootable: h.Bootable()}
+	_, err := h.Disk.ReadMBR()
+	out.MBRIntact = err == nil
+	h.FS.Walk(`C:\Users`, func(f *FileNode) bool {
+		if len(f.Data) >= 2 && f.Data[0] == 0xFF && f.Data[1] == 0xD8 {
+			out.FilesWiped++
+		}
+		return true
+	})
+	return out
+}
+
+// MarkWiped records that destructive malware ran on this host.
+func (h *Host) MarkWiped(reason string) {
+	h.Wiped = true
+	h.Logf(sim.CatWipe, "disk", "host wiped: %s", reason)
+}

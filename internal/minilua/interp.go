@@ -1,0 +1,686 @@
+package minilua
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// RuntimeError reports an execution failure with the source line.
+type RuntimeError struct {
+	Line int
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("minilua: runtime error at line %d: %s", e.Line, e.Msg)
+}
+
+// ErrFuelExhausted aborts scripts that exceed their execution budget.
+var ErrFuelExhausted = errors.New("minilua: fuel exhausted")
+
+// env is a lexical scope.
+type env struct {
+	vars   map[string]Value
+	parent *env
+}
+
+func newEnv(parent *env) *env {
+	return &env{vars: make(map[string]Value), parent: parent}
+}
+
+func (e *env) lookup(name string) (Value, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// setExisting assigns to the nearest scope declaring name; reports whether
+// one was found.
+func (e *env) setExisting(name string, v Value) bool {
+	for s := e; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			s.vars[name] = v
+			return true
+		}
+	}
+	return false
+}
+
+func (e *env) root() *env {
+	s := e
+	for s.parent != nil {
+		s = s.parent
+	}
+	return s
+}
+
+// Interp executes chunks with a fuel budget and a capability environment.
+type Interp struct {
+	globals *env
+	fuel    int
+	output  strings.Builder
+}
+
+// DefaultFuel is the per-Run execution budget when none is set.
+const DefaultFuel = 1 << 20
+
+// NewInterp returns an interpreter with the standard library installed.
+func NewInterp() *Interp {
+	in := &Interp{globals: newEnv(nil), fuel: DefaultFuel}
+	installStdlib(in)
+	return in
+}
+
+// SetFuel sets the remaining execution budget.
+func (in *Interp) SetFuel(n int) { in.fuel = n }
+
+// Fuel returns the remaining budget.
+func (in *Interp) Fuel() int { return in.fuel }
+
+// SetGlobal binds a global variable (the capability-injection point: host
+// APIs are exposed to modules as Builtin globals).
+func (in *Interp) SetGlobal(name string, v Value) {
+	in.globals.vars[name] = v
+}
+
+// Global reads a global variable.
+func (in *Interp) Global(name string) Value {
+	v, _ := in.globals.lookup(name)
+	return v
+}
+
+// Register binds a Go function as a global builtin.
+func (in *Interp) Register(name string, fn func(in *Interp, args []Value) (Value, error)) {
+	in.SetGlobal(name, &Builtin{Name: name, Fn: fn})
+}
+
+// Output returns everything print() emitted.
+func (in *Interp) Output() string { return in.output.String() }
+
+// ResetOutput clears the print buffer.
+func (in *Interp) ResetOutput() { in.output.Reset() }
+
+// Run executes a chunk in the global scope, returning the chunk's return
+// value (nil if it does not return).
+func (in *Interp) Run(c *Chunk) (Value, error) {
+	ret, ctl, err := in.execBlock(c.body, newEnv(in.globals))
+	if err != nil {
+		return nil, err
+	}
+	if ctl == ctlBreak {
+		return nil, &RuntimeError{Line: 0, Msg: "break outside loop"}
+	}
+	return ret, nil
+}
+
+// RunSource parses and executes src.
+func (in *Interp) RunSource(src string) (Value, error) {
+	c, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return in.Run(c)
+}
+
+// Call invokes a script function or builtin from Go.
+func (in *Interp) Call(fn Value, args ...Value) (Value, error) {
+	return in.call(fn, args, 0)
+}
+
+type ctlKind int
+
+const (
+	ctlNone ctlKind = iota
+	ctlReturn
+	ctlBreak
+)
+
+func (in *Interp) burn(line int) error {
+	in.fuel--
+	if in.fuel < 0 {
+		return fmt.Errorf("%w (line %d)", ErrFuelExhausted, line)
+	}
+	return nil
+}
+
+func (in *Interp) execBlock(body []stmt, e *env) (Value, ctlKind, error) {
+	for _, s := range body {
+		ret, ctl, err := in.execStmt(s, e)
+		if err != nil {
+			return nil, ctlNone, err
+		}
+		if ctl != ctlNone {
+			return ret, ctl, nil
+		}
+	}
+	return nil, ctlNone, nil
+}
+
+func (in *Interp) execStmt(s stmt, e *env) (Value, ctlKind, error) {
+	switch st := s.(type) {
+	case *localStmt:
+		if err := in.burn(st.line); err != nil {
+			return nil, ctlNone, err
+		}
+		vals := make([]Value, len(st.names))
+		for i := range st.names {
+			if i < len(st.exprs) {
+				v, err := in.eval(st.exprs[i], e)
+				if err != nil {
+					return nil, ctlNone, err
+				}
+				vals[i] = v
+			}
+		}
+		for i, name := range st.names {
+			e.vars[name] = vals[i]
+		}
+		return nil, ctlNone, nil
+
+	case *assignStmt:
+		if err := in.burn(st.line); err != nil {
+			return nil, ctlNone, err
+		}
+		vals := make([]Value, len(st.targets))
+		for i := range st.targets {
+			if i < len(st.exprs) {
+				v, err := in.eval(st.exprs[i], e)
+				if err != nil {
+					return nil, ctlNone, err
+				}
+				vals[i] = v
+			}
+		}
+		for i, tgt := range st.targets {
+			if err := in.assign(tgt, vals[i], e); err != nil {
+				return nil, ctlNone, err
+			}
+		}
+		return nil, ctlNone, nil
+
+	case *ifStmt:
+		if err := in.burn(st.line); err != nil {
+			return nil, ctlNone, err
+		}
+		for i, cond := range st.conds {
+			v, err := in.eval(cond, e)
+			if err != nil {
+				return nil, ctlNone, err
+			}
+			if Truthy(v) {
+				return in.execBlock(st.blocks[i], newEnv(e))
+			}
+		}
+		if st.els != nil {
+			return in.execBlock(st.els, newEnv(e))
+		}
+		return nil, ctlNone, nil
+
+	case *whileStmt:
+		for {
+			if err := in.burn(st.line); err != nil {
+				return nil, ctlNone, err
+			}
+			v, err := in.eval(st.cond, e)
+			if err != nil {
+				return nil, ctlNone, err
+			}
+			if !Truthy(v) {
+				return nil, ctlNone, nil
+			}
+			ret, ctl, err := in.execBlock(st.body, newEnv(e))
+			if err != nil {
+				return nil, ctlNone, err
+			}
+			if ctl == ctlReturn {
+				return ret, ctl, nil
+			}
+			if ctl == ctlBreak {
+				return nil, ctlNone, nil
+			}
+		}
+
+	case *repeatStmt:
+		for {
+			if err := in.burn(st.line); err != nil {
+				return nil, ctlNone, err
+			}
+			// The condition sees locals declared in the body (Lua
+			// semantics), so body and condition share the scope.
+			scope := newEnv(e)
+			ret, ctl, err := in.execBlock(st.body, scope)
+			if err != nil {
+				return nil, ctlNone, err
+			}
+			if ctl == ctlReturn {
+				return ret, ctl, nil
+			}
+			if ctl == ctlBreak {
+				return nil, ctlNone, nil
+			}
+			v, err := in.eval(st.cond, scope)
+			if err != nil {
+				return nil, ctlNone, err
+			}
+			if Truthy(v) {
+				return nil, ctlNone, nil
+			}
+		}
+
+	case *numForStmt:
+		start, err := in.evalNumber(st.startE, e, st.line)
+		if err != nil {
+			return nil, ctlNone, err
+		}
+		limit, err := in.evalNumber(st.limitE, e, st.line)
+		if err != nil {
+			return nil, ctlNone, err
+		}
+		step := 1.0
+		if st.stepE != nil {
+			step, err = in.evalNumber(st.stepE, e, st.line)
+			if err != nil {
+				return nil, ctlNone, err
+			}
+		}
+		if step == 0 {
+			return nil, ctlNone, &RuntimeError{Line: st.line, Msg: "for step is zero"}
+		}
+		for i := start; (step > 0 && i <= limit) || (step < 0 && i >= limit); i += step {
+			if err := in.burn(st.line); err != nil {
+				return nil, ctlNone, err
+			}
+			scope := newEnv(e)
+			scope.vars[st.varName] = i
+			ret, ctl, err := in.execBlock(st.body, scope)
+			if err != nil {
+				return nil, ctlNone, err
+			}
+			if ctl == ctlReturn {
+				return ret, ctl, nil
+			}
+			if ctl == ctlBreak {
+				return nil, ctlNone, nil
+			}
+		}
+		return nil, ctlNone, nil
+
+	case *genForStmt:
+		v, err := in.eval(st.iterable, e)
+		if err != nil {
+			return nil, ctlNone, err
+		}
+		tbl, ok := v.(*Table)
+		if !ok {
+			return nil, ctlNone, &RuntimeError{Line: st.line, Msg: "generic for requires a table, got " + TypeName(v)}
+		}
+		for _, key := range tbl.SortedKeys() {
+			if err := in.burn(st.line); err != nil {
+				return nil, ctlNone, err
+			}
+			scope := newEnv(e)
+			scope.vars[st.keyV] = key
+			scope.vars[st.valV] = tbl.Get(key)
+			ret, ctl, err := in.execBlock(st.body, scope)
+			if err != nil {
+				return nil, ctlNone, err
+			}
+			if ctl == ctlReturn {
+				return ret, ctl, nil
+			}
+			if ctl == ctlBreak {
+				return nil, ctlNone, nil
+			}
+		}
+		return nil, ctlNone, nil
+
+	case *funcStmt:
+		fn := &Function{name: st.name, params: st.fn.params, body: st.fn.body, env: e}
+		if st.local {
+			e.vars[st.name] = fn
+		} else if !e.setExisting(st.name, fn) {
+			e.root().vars[st.name] = fn
+		}
+		return nil, ctlNone, nil
+
+	case *returnStmt:
+		if err := in.burn(st.line); err != nil {
+			return nil, ctlNone, err
+		}
+		if st.e == nil {
+			return nil, ctlReturn, nil
+		}
+		v, err := in.eval(st.e, e)
+		if err != nil {
+			return nil, ctlNone, err
+		}
+		return v, ctlReturn, nil
+
+	case *breakStmt:
+		return nil, ctlBreak, nil
+
+	case *exprStmt:
+		if err := in.burn(st.line); err != nil {
+			return nil, ctlNone, err
+		}
+		_, err := in.eval(st.e, e)
+		return nil, ctlNone, err
+
+	default:
+		return nil, ctlNone, fmt.Errorf("minilua: unknown statement %T", s)
+	}
+}
+
+func (in *Interp) assign(tgt expr, v Value, e *env) error {
+	switch t := tgt.(type) {
+	case *nameExpr:
+		if !e.setExisting(t.name, v) {
+			e.root().vars[t.name] = v
+		}
+		return nil
+	case *indexExpr:
+		obj, err := in.eval(t.obj, e)
+		if err != nil {
+			return err
+		}
+		tbl, ok := obj.(*Table)
+		if !ok {
+			return &RuntimeError{Line: t.line, Msg: "cannot index " + TypeName(obj)}
+		}
+		key, err := in.eval(t.key, e)
+		if err != nil {
+			return err
+		}
+		if key == nil {
+			return &RuntimeError{Line: t.line, Msg: "table index is nil"}
+		}
+		tbl.Set(key, v)
+		return nil
+	default:
+		return fmt.Errorf("minilua: cannot assign to %T", tgt)
+	}
+}
+
+func (in *Interp) evalNumber(ex expr, e *env, line int) (float64, error) {
+	v, err := in.eval(ex, e)
+	if err != nil {
+		return 0, err
+	}
+	n, ok := v.(float64)
+	if !ok {
+		return 0, &RuntimeError{Line: line, Msg: "expected number, got " + TypeName(v)}
+	}
+	return n, nil
+}
+
+func (in *Interp) eval(ex expr, e *env) (Value, error) {
+	switch x := ex.(type) {
+	case *nilExpr:
+		return nil, nil
+	case *boolExpr:
+		return x.v, nil
+	case *numberExpr:
+		return x.v, nil
+	case *stringExpr:
+		return x.v, nil
+	case *nameExpr:
+		v, _ := e.lookup(x.name)
+		return v, nil
+	case *funcExpr:
+		return &Function{params: x.params, body: x.body, env: e}, nil
+	case *unExpr:
+		return in.evalUnary(x, e)
+	case *binExpr:
+		return in.evalBinary(x, e)
+	case *indexExpr:
+		obj, err := in.eval(x.obj, e)
+		if err != nil {
+			return nil, err
+		}
+		tbl, ok := obj.(*Table)
+		if !ok {
+			return nil, &RuntimeError{Line: x.line, Msg: "cannot index " + TypeName(obj)}
+		}
+		key, err := in.eval(x.key, e)
+		if err != nil {
+			return nil, err
+		}
+		return tbl.Get(key), nil
+	case *callExpr:
+		if err := in.burn(x.line); err != nil {
+			return nil, err
+		}
+		fn, err := in.eval(x.fn, e)
+		if err != nil {
+			return nil, err
+		}
+		args := make([]Value, len(x.args))
+		for i, a := range x.args {
+			args[i], err = in.eval(a, e)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return in.call(fn, args, x.line)
+	case *tableExpr:
+		t := NewTable()
+		for _, ve := range x.arr {
+			v, err := in.eval(ve, e)
+			if err != nil {
+				return nil, err
+			}
+			t.Append(v)
+		}
+		for i := range x.keys {
+			k, err := in.eval(x.keys[i], e)
+			if err != nil {
+				return nil, err
+			}
+			v, err := in.eval(x.vals[i], e)
+			if err != nil {
+				return nil, err
+			}
+			if k == nil {
+				return nil, &RuntimeError{Line: x.line, Msg: "table index is nil"}
+			}
+			t.Set(k, v)
+		}
+		return t, nil
+	default:
+		return nil, fmt.Errorf("minilua: unknown expression %T", ex)
+	}
+}
+
+func (in *Interp) call(fn Value, args []Value, line int) (Value, error) {
+	switch f := fn.(type) {
+	case *Builtin:
+		return f.Fn(in, args)
+	case *Function:
+		scope := newEnv(f.env)
+		for i, p := range f.params {
+			if i < len(args) {
+				scope.vars[p] = args[i]
+			} else {
+				scope.vars[p] = nil
+			}
+		}
+		ret, ctl, err := in.execBlock(f.body, scope)
+		if err != nil {
+			return nil, err
+		}
+		if ctl == ctlBreak {
+			return nil, &RuntimeError{Line: line, Msg: "break outside loop"}
+		}
+		return ret, nil
+	default:
+		return nil, &RuntimeError{Line: line, Msg: "attempt to call a " + TypeName(fn) + " value"}
+	}
+}
+
+func (in *Interp) evalUnary(x *unExpr, e *env) (Value, error) {
+	v, err := in.eval(x.e, e)
+	if err != nil {
+		return nil, err
+	}
+	switch x.op {
+	case "-":
+		n, ok := v.(float64)
+		if !ok {
+			return nil, &RuntimeError{Line: x.line, Msg: "attempt to negate a " + TypeName(v)}
+		}
+		return -n, nil
+	case "not":
+		return !Truthy(v), nil
+	case "#":
+		switch vv := v.(type) {
+		case string:
+			return float64(len(vv)), nil
+		case *Table:
+			return float64(vv.Len()), nil
+		default:
+			return nil, &RuntimeError{Line: x.line, Msg: "attempt to get length of a " + TypeName(v)}
+		}
+	default:
+		return nil, &RuntimeError{Line: x.line, Msg: "unknown unary operator " + x.op}
+	}
+}
+
+func (in *Interp) evalBinary(x *binExpr, e *env) (Value, error) {
+	// Short-circuit logic.
+	if x.op == "and" || x.op == "or" {
+		l, err := in.eval(x.l, e)
+		if err != nil {
+			return nil, err
+		}
+		if x.op == "and" {
+			if !Truthy(l) {
+				return l, nil
+			}
+			return in.eval(x.r, e)
+		}
+		if Truthy(l) {
+			return l, nil
+		}
+		return in.eval(x.r, e)
+	}
+	l, err := in.eval(x.l, e)
+	if err != nil {
+		return nil, err
+	}
+	r, err := in.eval(x.r, e)
+	if err != nil {
+		return nil, err
+	}
+	switch x.op {
+	case "==":
+		return valuesEqual(l, r), nil
+	case "~=":
+		return !valuesEqual(l, r), nil
+	case "..":
+		ls, lok := concatOperand(l)
+		rs, rok := concatOperand(r)
+		if !lok || !rok {
+			return nil, &RuntimeError{Line: x.line, Msg: "attempt to concatenate a " + TypeName(pickBad(l, r, lok))}
+		}
+		return ls + rs, nil
+	}
+	// Numeric and comparison operators.
+	switch x.op {
+	case "<", "<=", ">", ">=":
+		if ls, ok := l.(string); ok {
+			rs, ok2 := r.(string)
+			if !ok2 {
+				return nil, &RuntimeError{Line: x.line, Msg: "attempt to compare string with " + TypeName(r)}
+			}
+			return compareStrings(x.op, ls, rs), nil
+		}
+	}
+	ln, lok := l.(float64)
+	rn, rok := r.(float64)
+	if !lok || !rok {
+		return nil, &RuntimeError{Line: x.line, Msg: fmt.Sprintf("attempt to perform arithmetic (%s) on a %s", x.op, TypeName(pickBad(l, r, lok)))}
+	}
+	switch x.op {
+	case "+":
+		return ln + rn, nil
+	case "-":
+		return ln - rn, nil
+	case "*":
+		return ln * rn, nil
+	case "/":
+		if rn == 0 {
+			return nil, &RuntimeError{Line: x.line, Msg: "division by zero"}
+		}
+		return ln / rn, nil
+	case "%":
+		if rn == 0 {
+			return nil, &RuntimeError{Line: x.line, Msg: "modulo by zero"}
+		}
+		m := ln - rn*float64(int64(ln/rn))
+		return m, nil
+	case "<":
+		return ln < rn, nil
+	case "<=":
+		return ln <= rn, nil
+	case ">":
+		return ln > rn, nil
+	case ">=":
+		return ln >= rn, nil
+	default:
+		return nil, &RuntimeError{Line: x.line, Msg: "unknown operator " + x.op}
+	}
+}
+
+func pickBad(l, r Value, lok bool) Value {
+	if !lok {
+		return l
+	}
+	return r
+}
+
+func concatOperand(v Value) (string, bool) {
+	switch x := v.(type) {
+	case string:
+		return x, true
+	case float64:
+		return ToString(x), true
+	default:
+		return "", false
+	}
+}
+
+func compareStrings(op, l, r string) bool {
+	switch op {
+	case "<":
+		return l < r
+	case "<=":
+		return l <= r
+	case ">":
+		return l > r
+	default:
+		return l >= r
+	}
+}
+
+func valuesEqual(l, r Value) bool {
+	if l == nil && r == nil {
+		return true
+	}
+	switch a := l.(type) {
+	case float64:
+		b, ok := r.(float64)
+		return ok && a == b
+	case string:
+		b, ok := r.(string)
+		return ok && a == b
+	case bool:
+		b, ok := r.(bool)
+		return ok && a == b
+	default:
+		return l == r // pointer identity for tables/functions
+	}
+}

@@ -1,0 +1,616 @@
+package minilua
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func run(t *testing.T, src string) (Value, *Interp) {
+	t.Helper()
+	in := NewInterp()
+	v, err := in.RunSource(src)
+	if err != nil {
+		t.Fatalf("RunSource(%q): %v", src, err)
+	}
+	return v, in
+}
+
+func runErr(t *testing.T, src string) error {
+	t.Helper()
+	in := NewInterp()
+	_, err := in.RunSource(src)
+	if err == nil {
+		t.Fatalf("RunSource(%q) succeeded, want error", src)
+	}
+	return err
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := map[string]float64{
+		"return 1 + 2":            3,
+		"return 10 - 4":           6,
+		"return 3 * 7":            21,
+		"return 10 / 4":           2.5,
+		"return 10 % 3":           1,
+		"return -(2 + 3)":         -5,
+		"return 2 + 3 * 4":        14,
+		"return (2 + 3) * 4":      20,
+		"return 1 + 2 - 3 + 4":    4,
+		"return 100 / 10 / 2":     5,
+		"return 7 % 3 + 10 * 0.5": 6,
+	}
+	for src, want := range cases {
+		v, _ := run(t, src)
+		if got, ok := v.(float64); !ok || got != want {
+			t.Errorf("%q = %v, want %v", src, v, want)
+		}
+	}
+}
+
+func TestComparisonAndLogic(t *testing.T) {
+	cases := map[string]bool{
+		"return 1 < 2":                  true,
+		"return 2 <= 2":                 true,
+		"return 3 > 4":                  false,
+		"return 1 == 1":                 true,
+		"return 1 ~= 1":                 false,
+		`return "a" < "b"`:              true,
+		`return "abc" == "abc"`:         true,
+		"return true and false":         false,
+		"return true or false":          true,
+		"return not nil":                true,
+		"return nil == nil":             true,
+		"return 1 == \"1\"":             false,
+		"return (1 < 2) and (3 < 4)":    true,
+		"return false or nil == nil":    true,
+		"return not (1 > 2) and 5 == 5": true,
+	}
+	for src, want := range cases {
+		v, _ := run(t, src)
+		if got, ok := v.(bool); !ok || got != want {
+			t.Errorf("%q = %v, want %v", src, v, want)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// `and` must not evaluate rhs when lhs is false.
+	v, _ := run(t, `
+		local called = false
+		function boom() called = true return 1 end
+		local r = false and boom()
+		return called
+	`)
+	if v != false {
+		t.Fatalf("and short-circuit broken: %v", v)
+	}
+	v, _ = run(t, `return 5 or error("never")`)
+	if v != 5.0 {
+		t.Fatalf("or short-circuit = %v", v)
+	}
+}
+
+func TestStringsAndConcat(t *testing.T) {
+	v, _ := run(t, `return "flame" .. "-" .. 2012`)
+	if v != "flame-2012" {
+		t.Fatalf("concat = %v", v)
+	}
+	v, _ = run(t, `return #"beetlejuice"`)
+	if v != 11.0 {
+		t.Fatalf("len = %v", v)
+	}
+	v, _ = run(t, `return "tab\tnl\n\"q\""`)
+	if v != "tab\tnl\n\"q\"" {
+		t.Fatalf("escapes = %q", v)
+	}
+}
+
+func TestLocalsAndGlobalsScoping(t *testing.T) {
+	v, _ := run(t, `
+		x = 10            -- global
+		local y = 20
+		function bump() x = x + 1 end
+		bump()
+		bump()
+		return x + y
+	`)
+	if v != 32.0 {
+		t.Fatalf("got %v", v)
+	}
+	// Locals shadow globals.
+	v, _ = run(t, `
+		x = 1
+		local x = 2
+		return x
+	`)
+	if v != 2.0 {
+		t.Fatalf("shadowing = %v", v)
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	src := `
+		function classify(n)
+			if n < 10 then return "small"
+			elseif n < 100 then return "medium"
+			elseif n < 1000 then return "large"
+			else return "huge" end
+		end
+		return classify(%s)
+	`
+	cases := map[string]string{"5": "small", "50": "medium", "500": "large", "5000": "huge"}
+	for arg, want := range cases {
+		v, _ := run(t, strings.Replace(src, "%s", arg, 1))
+		if v != want {
+			t.Errorf("classify(%s) = %v, want %s", arg, v, want)
+		}
+	}
+}
+
+func TestWhileAndBreak(t *testing.T) {
+	v, _ := run(t, `
+		local i = 0
+		local sum = 0
+		while true do
+			i = i + 1
+			if i > 10 then break end
+			sum = sum + i
+		end
+		return sum
+	`)
+	if v != 55.0 {
+		t.Fatalf("sum = %v", v)
+	}
+}
+
+func TestRepeatUntil(t *testing.T) {
+	v, _ := run(t, `
+		local n = 0
+		repeat n = n + 1 until n >= 5
+		return n
+	`)
+	if v != 5.0 {
+		t.Fatalf("repeat = %v", v)
+	}
+	// Body runs at least once even when the condition is already true.
+	v, _ = run(t, `
+		local n = 100
+		repeat n = n + 1 until true
+		return n
+	`)
+	if v != 101.0 {
+		t.Fatalf("repeat-once = %v", v)
+	}
+	// The condition sees body locals (Lua scoping rule).
+	v, _ = run(t, `
+		local i = 0
+		repeat
+			i = i + 1
+			local done = i > 3
+		until done
+		return i
+	`)
+	if v != 4.0 {
+		t.Fatalf("repeat body-local cond = %v", v)
+	}
+	// break exits immediately.
+	v, _ = run(t, `
+		local n = 0
+		repeat
+			n = n + 1
+			if n == 2 then break end
+		until false
+		return n
+	`)
+	if v != 2.0 {
+		t.Fatalf("repeat break = %v", v)
+	}
+	// Fuel still bounds infinite repeats.
+	in := NewInterp()
+	in.SetFuel(500)
+	if _, err := in.RunSource(`repeat until false`); !errors.Is(err, ErrFuelExhausted) {
+		t.Fatalf("err = %v, want fuel exhaustion", err)
+	}
+	if err := runErr(t, `repeat n = 1`); err == nil {
+		t.Fatal("unterminated repeat accepted")
+	}
+}
+
+func TestNumericFor(t *testing.T) {
+	v, _ := run(t, `
+		local sum = 0
+		for i = 1, 5 do sum = sum + i end
+		return sum
+	`)
+	if v != 15.0 {
+		t.Fatalf("sum = %v", v)
+	}
+	v, _ = run(t, `
+		local n = 0
+		for i = 10, 1, -2 do n = n + 1 end
+		return n
+	`)
+	if v != 5.0 {
+		t.Fatalf("downward for = %v", v)
+	}
+	if err := runErr(t, `for i = 1, 5, 0 do end`); err == nil {
+		t.Fatal("zero step allowed")
+	}
+}
+
+func TestGenericForDeterministicOrder(t *testing.T) {
+	v, in := run(t, `
+		local t = {z = 1, a = 2, m = 3}
+		t[10] = "ten"
+		t[2] = "two"
+		for k, v in t do print(k) end
+		return true
+	`)
+	_ = v
+	// Numbers first ascending, then strings ascending.
+	want := "2\n10\na\nm\nz\n"
+	if in.Output() != want {
+		t.Fatalf("iteration order = %q, want %q", in.Output(), want)
+	}
+}
+
+func TestTablesConstructAndIndex(t *testing.T) {
+	v, _ := run(t, `
+		local t = {1, 2, 3, name = "euphoria", ["key space"] = 42}
+		return t[1] + t[3] + t["key space"]
+	`)
+	if v != 46.0 {
+		t.Fatalf("got %v", v)
+	}
+	v, _ = run(t, `
+		local t = {}
+		t.module = "flask"
+		t.count = 0
+		t.count = t.count + 7
+		return t.module .. ":" .. t.count
+	`)
+	if v != "flask:7" {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestNestedTables(t *testing.T) {
+	v, _ := run(t, `
+		local cfg = {net = {domains = {"a.com", "b.com"}}, depth = 2}
+		return cfg.net.domains[2]
+	`)
+	if v != "b.com" {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	v, _ := run(t, `
+		function fib(n)
+			if n < 2 then return n end
+			return fib(n - 1) + fib(n - 2)
+		end
+		return fib(15)
+	`)
+	if v != 610.0 {
+		t.Fatalf("fib = %v", v)
+	}
+}
+
+func TestClosuresCaptureEnvironment(t *testing.T) {
+	v, _ := run(t, `
+		function counter()
+			local n = 0
+			return function() n = n + 1 return n end
+		end
+		local c1 = counter()
+		local c2 = counter()
+		c1() c1() c1()
+		c2()
+		return c1() * 10 + c2()
+	`)
+	if v != 42.0 {
+		t.Fatalf("closures = %v", v)
+	}
+}
+
+func TestLocalFunction(t *testing.T) {
+	v, _ := run(t, `
+		local function double(x) return x * 2 end
+		return double(21)
+	`)
+	if v != 42.0 {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestMultipleAssignment(t *testing.T) {
+	v, _ := run(t, `
+		local a, b = 1, 2
+		a, b = b, a
+		return a * 10 + b
+	`)
+	if v != 21.0 {
+		t.Fatalf("swap = %v", v)
+	}
+}
+
+func TestStdlibStringOps(t *testing.T) {
+	cases := map[string]Value{
+		`return sub("beetlejuice", 1, 6)`:       "beetle",
+		`return sub("abc", 2)`:                  "bc",
+		`return sub("abc", -2)`:                 "bc",
+		`return find("mssecmgr.ocx", ".ocx")`:   9.0,
+		`return find("abc", "zz")`:              nil,
+		`return upper("gadget")`:                "GADGET",
+		`return lower("MUNCH")`:                 "munch",
+		`return format("%s=%d", "drives", 3)`:   "drives=3",
+		`return tostring(42)`:                   "42",
+		`return tonumber("17.5")`:               17.5,
+		`return tonumber("xyz")`:                nil,
+		`return type({})`:                       "table",
+		`return type("s")`:                      "string",
+		`return type(nil)`:                      "nil",
+		`return floor(3.9)`:                     3.0,
+		`return max(1, 9, 4)`:                   9.0,
+		`return min(5, 2, 8)`:                   2.0,
+		`return concat({"a","b","c"}, "-")`:     "a-b-c",
+		`return len({"x","y"})`:                 2.0,
+		`return split("a,b,c", ",")[2]`:         "b",
+		`local t = {} insert(t, 5) return t[1]`: 5.0,
+	}
+	for src, want := range cases {
+		v, _ := run(t, src)
+		if !valuesEqual(v, want) && !(v == nil && want == nil) {
+			t.Errorf("%q = %v, want %v", src, v, want)
+		}
+	}
+}
+
+func TestStdlibRemove(t *testing.T) {
+	v, _ := run(t, `
+		local t = {"a", "b", "c"}
+		local last = remove(t)
+		return last .. ":" .. #t
+	`)
+	if v != "c:2" {
+		t.Fatalf("remove = %v", v)
+	}
+}
+
+func TestPrintOutput(t *testing.T) {
+	_, in := run(t, `print("hello", 42, true, nil)`)
+	if in.Output() != "hello\t42\ttrue\tnil\n" {
+		t.Fatalf("output = %q", in.Output())
+	}
+	in.ResetOutput()
+	if in.Output() != "" {
+		t.Fatal("ResetOutput failed")
+	}
+}
+
+func TestHostBindings(t *testing.T) {
+	in := NewInterp()
+	var captured []string
+	in.Register("host_list_files", func(_ *Interp, args []Value) (Value, error) {
+		return GoStringsToTable([]string{"a.docx", "b.pdf", "c.dwg"}), nil
+	})
+	in.Register("host_leak", func(_ *Interp, args []Value) (Value, error) {
+		captured = append(captured, ToString(argAt(args, 0)))
+		return true, nil
+	})
+	_, err := in.RunSource(`
+		local files = host_list_files()
+		for i = 1, #files do
+			local f = files[i]
+			if find(f, ".docx") or find(f, ".dwg") then
+				host_leak(f)
+			end
+		end
+	`)
+	if err != nil {
+		t.Fatalf("RunSource: %v", err)
+	}
+	if len(captured) != 2 || captured[0] != "a.docx" || captured[1] != "c.dwg" {
+		t.Fatalf("captured = %v", captured)
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	in := NewInterp()
+	in.SetFuel(1000)
+	_, err := in.RunSource(`while true do end`)
+	if !errors.Is(err, ErrFuelExhausted) {
+		t.Fatalf("err = %v, want ErrFuelExhausted", err)
+	}
+}
+
+func TestFuelSurvivesNormalRun(t *testing.T) {
+	in := NewInterp()
+	in.SetFuel(100000)
+	if _, err := in.RunSource(`local s = 0 for i = 1, 100 do s = s + i end return s`); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if in.Fuel() <= 0 || in.Fuel() >= 100000 {
+		t.Fatalf("fuel = %d", in.Fuel())
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []string{
+		`return 1 + "x"`,
+		`return {} .. "x"`,
+		`local t = nil return t.x`,
+		`local f = 5 return f()`,
+		`return 1 / 0`,
+		`return 1 % 0`,
+		`return #5`,
+		`return -"str"`,
+		`local t = {} t[nil] = 1`,
+		`error("module failure")`,
+		`return 1 < "a"`,
+	}
+	for _, src := range cases {
+		err := runErr(t, src)
+		var rt *RuntimeError
+		if !errors.As(err, &rt) {
+			t.Errorf("%q: err = %T %v, want RuntimeError", src, err, err)
+		}
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []string{
+		`return 1 +`,
+		`if x then`,
+		`local = 5`,
+		`function end`,
+		`return "unterminated`,
+		`x = {1, 2`,
+		`while do end`,
+		`for i = 1 do end`,
+		`1 + 2`, // expression is not a statement
+		`@`,
+		`return "bad \q escape"`,
+	}
+	for _, src := range cases {
+		_, err := Parse(src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+			continue
+		}
+		var se *SyntaxError
+		if !errors.As(err, &se) {
+			t.Errorf("%q: err = %T, want SyntaxError", src, err)
+		}
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	v, _ := run(t, `
+		-- module header comment
+		local x = 1 -- trailing
+		-- another
+		return x
+	`)
+	if v != 1.0 {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestCallFromGo(t *testing.T) {
+	in := NewInterp()
+	if _, err := in.RunSource(`function add(a, b) return a + b end`); err != nil {
+		t.Fatalf("define: %v", err)
+	}
+	v, err := in.Call(in.Global("add"), 19.0, 23.0)
+	if err != nil || v != 42.0 {
+		t.Fatalf("Call = %v, %v", v, err)
+	}
+	if _, err := in.Call(nil); err == nil {
+		t.Fatal("calling nil succeeded")
+	}
+}
+
+func TestMissingArgsAreNil(t *testing.T) {
+	v, _ := run(t, `
+		function f(a, b) if b == nil then return "no-b" end return b end
+		return f(1)
+	`)
+	if v != "no-b" {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestDoBlockScoping(t *testing.T) {
+	v, _ := run(t, `
+		local x = 1
+		do
+			local x = 2
+		end
+		return x
+	`)
+	if v != 1.0 {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestTableLenBorder(t *testing.T) {
+	v, _ := run(t, `
+		local t = {1, 2, 3}
+		t[5] = 5 -- hole at 4
+		return #t
+	`)
+	if v != 3.0 {
+		t.Fatalf("border = %v", v)
+	}
+}
+
+func TestInterpreterDeterminism(t *testing.T) {
+	src := `
+		local acc = {}
+		local t = {b = 2, a = 1, c = 3}
+		for k, v in t do insert(acc, k .. "=" .. v) end
+		return concat(acc, ",")
+	`
+	first, _ := run(t, src)
+	for i := 0; i < 5; i++ {
+		again, _ := run(t, src)
+		if again != first {
+			t.Fatalf("non-deterministic: %v vs %v", first, again)
+		}
+	}
+	if first != "a=1,b=2,c=3" {
+		t.Fatalf("order = %v", first)
+	}
+}
+
+func TestArithmeticPropertyAddCommutes(t *testing.T) {
+	f := func(a, b int16) bool {
+		in := NewInterp()
+		src := "return " + ToString(float64(a)) + " + " + ToString(float64(b))
+		v1, err1 := in.RunSource(src)
+		src2 := "return " + ToString(float64(b)) + " + " + ToString(float64(a))
+		v2, err2 := in.RunSource(src2)
+		return err1 == nil && err2 == nil && valuesEqual(v1, v2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		// Restrict to printable subset without quotes/backslashes.
+		clean := strings.Map(func(r rune) rune {
+			if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == ' ' {
+				return r
+			}
+			return -1
+		}, s)
+		in := NewInterp()
+		v, err := in.RunSource(`return "` + clean + `"`)
+		return err == nil && v == clean
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcatRightAssociative(t *testing.T) {
+	v, _ := run(t, `return 1 .. 2 .. 3`)
+	if v != "123" {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestBreakOutsideLoopError(t *testing.T) {
+	// break at chunk level is a runtime control error.
+	in := NewInterp()
+	_, err := in.RunSource(`break`)
+	if err == nil {
+		t.Fatal("break at top level succeeded")
+	}
+}

@@ -1,0 +1,199 @@
+package minilua
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is any minilua value: nil, bool, float64, string, *Table,
+// *Function, or *Builtin.
+type Value any
+
+// Table is the associative container. Integer-keyed entries starting at 1
+// form the array part for # and ipairs-style iteration.
+type Table struct {
+	m map[Value]Value
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table { return &Table{m: make(map[Value]Value)} }
+
+// Get returns the value for key (nil if absent).
+func (t *Table) Get(key Value) Value { return t.m[normKey(key)] }
+
+// Set stores value under key; setting nil removes the key.
+func (t *Table) Set(key, value Value) {
+	k := normKey(key)
+	if value == nil {
+		delete(t.m, k)
+		return
+	}
+	t.m[k] = value
+}
+
+// Len returns the border: the count of consecutive integer keys from 1.
+func (t *Table) Len() int {
+	n := 0
+	for {
+		if _, ok := t.m[float64(n+1)]; !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// Append adds value at the end of the array part.
+func (t *Table) Append(value Value) { t.Set(float64(t.Len()+1), value) }
+
+// SortedKeys returns all keys in a deterministic order: numbers ascending,
+// then strings ascending, then everything else by formatted representation.
+func (t *Table) SortedKeys() []Value {
+	keys := make([]Value, 0, len(t.m))
+	for k := range t.m {
+		keys = append(keys, k)
+	}
+	rank := func(v Value) int {
+		switch v.(type) {
+		case float64:
+			return 0
+		case string:
+			return 1
+		default:
+			return 2
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ri, rj := rank(keys[i]), rank(keys[j])
+		if ri != rj {
+			return ri < rj
+		}
+		switch a := keys[i].(type) {
+		case float64:
+			return a < keys[j].(float64)
+		case string:
+			return a < keys[j].(string)
+		default:
+			return fmt.Sprint(keys[i]) < fmt.Sprint(keys[j])
+		}
+	})
+	return keys
+}
+
+// Size returns the number of entries (array + hash parts).
+func (t *Table) Size() int { return len(t.m) }
+
+// normKey canonicalizes map keys (ints become float64).
+func normKey(key Value) Value {
+	switch k := key.(type) {
+	case int:
+		return float64(k)
+	default:
+		return key
+	}
+}
+
+// Function is a user-defined closure.
+type Function struct {
+	name   string
+	params []string
+	body   []stmt
+	env    *env
+}
+
+// Builtin is a Go-implemented function exposed to scripts.
+type Builtin struct {
+	Name string
+	Fn   func(in *Interp, args []Value) (Value, error)
+}
+
+// Truthy implements Lua truth: nil and false are false, all else true.
+func Truthy(v Value) bool {
+	switch x := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return x
+	default:
+		return true
+	}
+}
+
+// ToString renders a value the way print does.
+func ToString(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "nil"
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case float64:
+		if x == float64(int64(x)) && x < 1e15 && x > -1e15 {
+			return strconv.FormatInt(int64(x), 10)
+		}
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		return x
+	case *Table:
+		return fmt.Sprintf("table(%d)", x.Size())
+	case *Function:
+		if x.name != "" {
+			return "function:" + x.name
+		}
+		return "function"
+	case *Builtin:
+		return "builtin:" + x.Name
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// TypeName returns the Lua type name of v.
+func TypeName(v Value) string {
+	switch v.(type) {
+	case nil:
+		return "nil"
+	case bool:
+		return "boolean"
+	case float64:
+		return "number"
+	case string:
+		return "string"
+	case *Table:
+		return "table"
+	case *Function, *Builtin:
+		return "function"
+	default:
+		return "userdata"
+	}
+}
+
+// GoStringsToTable builds an array-style table from strings.
+func GoStringsToTable(items []string) *Table {
+	t := NewTable()
+	for _, s := range items {
+		t.Append(s)
+	}
+	return t
+}
+
+// TableToGoStrings flattens the array part of a table to Go strings.
+func TableToGoStrings(t *Table) []string {
+	n := t.Len()
+	out := make([]string, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, ToString(t.Get(float64(i))))
+	}
+	return out
+}
+
+func formatValues(vals []Value) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = ToString(v)
+	}
+	return strings.Join(parts, "\t")
+}

@@ -1,0 +1,111 @@
+package netsim
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/host"
+	"repro/internal/sim"
+)
+
+// BTDevice is a non-host Bluetooth device (phone, headset) physically near
+// some machines — the social-network and location side channel BEETLEJUICE
+// enumerates (paper, III-A).
+type BTDevice struct {
+	Name     string
+	Kind     string // "phone", "headset", "laptop"
+	Owner    string
+	Contacts []string // address-book entries a paired phone exposes
+}
+
+// RadioSpace is one physical location's radio environment.
+type RadioSpace struct {
+	Name    string
+	devices []*BTDevice
+}
+
+// Radio tracks which hosts and devices share physical locations and which
+// hosts currently beacon as discoverable.
+type Radio struct {
+	K         *sim.Kernel
+	spaces    map[string]*RadioSpace
+	hostSpace map[string]string // host name (lower) -> space name
+	beaconing map[string]bool   // host name (lower) -> discoverable
+}
+
+// NewRadio returns an empty radio environment.
+func NewRadio(k *sim.Kernel) *Radio {
+	return &Radio{
+		K:         k,
+		spaces:    make(map[string]*RadioSpace),
+		hostSpace: make(map[string]string),
+		beaconing: make(map[string]bool),
+	}
+}
+
+// Space returns (creating if needed) the named radio space.
+func (r *Radio) Space(name string) *RadioSpace {
+	s, ok := r.spaces[name]
+	if !ok {
+		s = &RadioSpace{Name: name}
+		r.spaces[name] = s
+	}
+	return s
+}
+
+// PlaceHost puts a host in a physical space.
+func (r *Radio) PlaceHost(h *host.Host, space string) {
+	r.Space(space)
+	r.hostSpace[strings.ToLower(h.Name)] = space
+}
+
+// PlaceDevice puts a device in a physical space.
+func (r *Radio) PlaceDevice(space string, d *BTDevice) {
+	s := r.Space(space)
+	s.devices = append(s.devices, d)
+}
+
+// SetBeacon makes a host announce itself as a discoverable device (or
+// stop). Requires Bluetooth hardware.
+func (r *Radio) SetBeacon(h *host.Host, on bool) bool {
+	if !h.Hardware.Bluetooth {
+		return false
+	}
+	r.beaconing[strings.ToLower(h.Name)] = on
+	if on {
+		r.K.Trace().Add(r.K.Now(), sim.CatBluetooth, h.Name, "beaconing as discoverable device")
+	}
+	return true
+}
+
+// IsBeaconing reports whether the host currently beacons.
+func (r *Radio) IsBeaconing(h *host.Host) bool {
+	return r.beaconing[strings.ToLower(h.Name)]
+}
+
+// Scan enumerates devices near the host: all BTDevices in its space, plus
+// any other beaconing hosts there. It returns nil when the host has no
+// Bluetooth hardware or no assigned location.
+func (r *Radio) Scan(h *host.Host) []*BTDevice {
+	if !h.Hardware.Bluetooth {
+		return nil
+	}
+	spaceName, ok := r.hostSpace[strings.ToLower(h.Name)]
+	if !ok {
+		return nil
+	}
+	space := r.spaces[spaceName]
+	out := make([]*BTDevice, 0, len(space.devices))
+	out = append(out, space.devices...)
+	for hostName, on := range r.beaconing {
+		if !on || hostName == strings.ToLower(h.Name) {
+			continue
+		}
+		if r.hostSpace[hostName] == spaceName {
+			out = append(out, &BTDevice{Name: hostName, Kind: "computer"})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	r.K.Trace().Add(r.K.Now(), sim.CatBluetooth, h.Name, "bt scan found %d devices", len(out))
+	return out
+}

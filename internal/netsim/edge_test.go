@@ -1,0 +1,86 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/host"
+)
+
+// Edge cases around WPAD arbitration and proxy fallback.
+
+func TestWPADFirstResponderBySortedNameWins(t *testing.T) {
+	k := testKernel()
+	l := NewLAN(k, "office", "10.0.0", nil)
+	victim := host.New(k, "VICTIM")
+	a := host.New(k, "AAA-ATTACKER")
+	b := host.New(k, "ZZZ-ATTACKER")
+	l.Attach(victim)
+	na := l.Attach(a)
+	nb := l.Attach(b)
+	na.WPADResponder = func(from *host.Host) (string, bool) { return "AAA-ATTACKER", true }
+	nb.WPADResponder = func(from *host.Host) (string, bool) { return "ZZZ-ATTACKER", true }
+
+	proxy, ok := l.WPADQuery(victim)
+	if !ok || proxy != "AAA-ATTACKER" {
+		t.Fatalf("winner = %q (deterministic first-by-name expected)", proxy)
+	}
+}
+
+func TestWPADResponderDoesNotAnswerItself(t *testing.T) {
+	k := testKernel()
+	l := NewLAN(k, "office", "10.0.0", nil)
+	a := host.New(k, "SOLO")
+	na := l.Attach(a)
+	na.WPADResponder = func(from *host.Host) (string, bool) { return "SOLO", true }
+	if _, ok := l.WPADQuery(a); ok {
+		t.Fatal("host answered its own WPAD broadcast")
+	}
+}
+
+func TestWPADSelectiveResponder(t *testing.T) {
+	k := testKernel()
+	l := NewLAN(k, "office", "10.0.0", nil)
+	attacker := host.New(k, "ATTACKER")
+	v1 := host.New(k, "TARGET")
+	v2 := host.New(k, "IGNORED")
+	na := l.Attach(attacker)
+	l.Attach(v1)
+	l.Attach(v2)
+	na.WPADResponder = func(from *host.Host) (string, bool) {
+		return "ATTACKER", from.Name == "TARGET"
+	}
+	if _, ok := l.WPADQuery(v1); !ok {
+		t.Fatal("target not answered")
+	}
+	if _, ok := l.WPADQuery(v2); ok {
+		t.Fatal("non-target answered")
+	}
+}
+
+func TestProxyConfiguredButProxyHostGone(t *testing.T) {
+	k := testKernel()
+	in := NewInternet(k)
+	in.RegisterDomain("site.example", "198.51.100.9")
+	in.BindServer("198.51.100.9", echoServer())
+	l := NewLAN(k, "office", "10.0.0", in)
+	v := host.New(k, "VICTIM", host.WithInternet(true))
+	l.Attach(v)
+	v.ProxyHost = "DEPARTED" // points at a machine not on the LAN
+	// Falls through to direct connectivity.
+	resp, err := l.HTTP(v, &Request{Method: "GET", Host: "site.example", Path: "/x"})
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("fallback failed: %v %v", err, resp)
+	}
+}
+
+func TestRemoteExecMissingFile(t *testing.T) {
+	k := testKernel()
+	l := NewLAN(k, "office", "10.0.0", nil)
+	src := host.New(k, "SRC")
+	dst := host.New(k, "DST", host.WithShares(true))
+	l.Attach(src)
+	l.Attach(dst)
+	if err := l.RemoteExec(src, "DST", `C:\missing.exe`); err == nil {
+		t.Fatal("psexec of a missing file succeeded")
+	}
+}

@@ -1,0 +1,165 @@
+// Package netsim provides the simulated network fabric: an internet with
+// DNS and HTTP, LANs with SMB shares, the print-spooler and WPAD broadcast
+// behaviours the modelled malware abuses, a Windows Update service, and
+// Bluetooth radio spaces.
+//
+// Requests are synchronous method calls — the paper's claims concern who
+// can reach and impersonate whom, not latency — but all activity is stamped
+// into the kernel trace at current virtual time.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// IP is a printable address.
+type IP string
+
+// Request is a simulated HTTP request.
+type Request struct {
+	Method string
+	Host   string // domain name or literal IP
+	Path   string
+	Query  map[string]string
+	Body   []byte
+	// Source identifies the originating machine (set by the fabric).
+	Source string
+}
+
+// Response is a simulated HTTP response.
+type Response struct {
+	Status int
+	Body   []byte
+}
+
+// OK wraps body in a 200 response.
+func OK(body []byte) *Response { return &Response{Status: 200, Body: body} }
+
+// NotFound is a 404 response.
+func NotFound() *Response { return &Response{Status: 404} }
+
+// Handler serves simulated HTTP.
+type Handler interface {
+	ServeSim(req *Request) *Response
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(req *Request) *Response
+
+// ServeSim implements Handler.
+func (f HandlerFunc) ServeSim(req *Request) *Response { return f(req) }
+
+// Errors surfaced by the fabric.
+var (
+	ErrNoRoute      = errors.New("netsim: no route to host")
+	ErrNXDomain     = errors.New("netsim: domain does not resolve")
+	ErrNoInternet   = errors.New("netsim: host has no internet connectivity")
+	ErrNoSuchServer = errors.New("netsim: no server at address")
+)
+
+// Internet is the global name and server registry.
+type Internet struct {
+	K       *sim.Kernel
+	dns     map[string]IP
+	servers map[IP]Handler
+	// catchAll, when set, resolves every unknown name — the sandbox
+	// sinkhole configuration (INetSim-style).
+	catchAll IP
+}
+
+// SetCatchAll makes every unknown name resolve to ip (empty disables).
+func (in *Internet) SetCatchAll(ip IP) { in.catchAll = ip }
+
+// NewInternet returns an empty internet.
+func NewInternet(k *sim.Kernel) *Internet {
+	return &Internet{
+		K:       k,
+		dns:     make(map[string]IP),
+		servers: make(map[IP]Handler),
+	}
+}
+
+// RegisterDomain points name at ip.
+func (in *Internet) RegisterDomain(name string, ip IP) {
+	in.dns[name] = ip
+}
+
+// UnregisterDomain removes a name (domain takedown / suicide cleanup).
+func (in *Internet) UnregisterDomain(name string) {
+	delete(in.dns, name)
+}
+
+// Resolve looks up a name. Literal IPs resolve to themselves when a server
+// is bound there.
+func (in *Internet) Resolve(name string) (IP, bool) {
+	if ip, ok := in.dns[name]; ok {
+		return ip, true
+	}
+	if _, ok := in.servers[IP(name)]; ok {
+		return IP(name), true
+	}
+	if in.catchAll != "" {
+		return in.catchAll, true
+	}
+	return "", false
+}
+
+// Domains returns all registered domain names, sorted.
+func (in *Internet) Domains() []string {
+	out := make([]string, 0, len(in.dns))
+	for d := range in.dns {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DistinctServerIPs returns how many distinct IPs the registered domains
+// point at — the paper's "80 domains, 22 server IPs" shape.
+func (in *Internet) DistinctServerIPs() int {
+	seen := make(map[IP]bool, len(in.dns))
+	for _, ip := range in.dns {
+		seen[ip] = true
+	}
+	return len(seen)
+}
+
+// BindServer attaches a handler at ip.
+func (in *Internet) BindServer(ip IP, h Handler) {
+	in.servers[ip] = h
+}
+
+// UnbindServer removes the server at ip.
+func (in *Internet) UnbindServer(ip IP) {
+	delete(in.servers, ip)
+}
+
+// Dispatch resolves req.Host and delivers the request to the bound server.
+func (in *Internet) Dispatch(req *Request) (*Response, error) {
+	ip, ok := in.Resolve(req.Host)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNXDomain, req.Host)
+	}
+	srv, ok := in.servers[ip]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s (%s)", ErrNoSuchServer, ip, req.Host)
+	}
+	in.K.Trace().Add(in.K.Now(), sim.CatNetwork, req.Source, "%s http://%s%s (%d bytes)", req.Method, req.Host, req.Path, len(req.Body))
+	return srv.ServeSim(req), nil
+}
+
+// Reachable reports whether name currently resolves to a live server — the
+// connectivity probe Stuxnet performs against windowsupdate.com / msn.com
+// before contacting its C&C.
+func (in *Internet) Reachable(name string) bool {
+	ip, ok := in.Resolve(name)
+	if !ok {
+		return false
+	}
+	_, ok = in.servers[ip]
+	return ok
+}

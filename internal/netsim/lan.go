@@ -1,0 +1,266 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/host"
+	"repro/internal/pe"
+	"repro/internal/sim"
+)
+
+// ProxyHandler lets a machine that has become another machine's proxy
+// inspect and possibly replace traffic. Returning a non-nil response
+// short-circuits the request (the MITM case); returning nil forwards it
+// unchanged.
+type ProxyHandler func(req *Request) *Response
+
+// Node is a LAN attachment record for one host.
+type Node struct {
+	Host *host.Host
+	IP   IP
+	// WPADResponder, when set, answers NetBIOS WPAD broadcasts with a
+	// proxy configuration naming this (or another) machine. Flame's SNACK
+	// module installs one.
+	WPADResponder func(from *host.Host) (proxyHost string, ok bool)
+	// Proxy intercepts HTTP traffic from hosts whose ProxyHost names this
+	// node. Flame's MUNCH module installs one.
+	Proxy ProxyHandler
+	// StaticARP hardens the host against gratuitous-ARP redirection.
+	StaticARP bool
+}
+
+// LAN is one broadcast domain. A nil Uplink models an air-gapped network.
+type LAN struct {
+	Name   string
+	K      *sim.Kernel
+	Uplink *Internet
+
+	nodes  map[string]*Node // by lower-cased host name
+	nextIP int
+	subnet string
+}
+
+// NewLAN creates a LAN. uplink may be nil for air-gapped segments.
+func NewLAN(k *sim.Kernel, name, subnet string, uplink *Internet) *LAN {
+	return &LAN{
+		Name:   name,
+		K:      k,
+		Uplink: uplink,
+		nodes:  make(map[string]*Node),
+		subnet: subnet,
+	}
+}
+
+// Attach joins a host to the LAN, assigning it an address.
+func (l *LAN) Attach(h *host.Host) *Node {
+	l.nextIP++
+	n := &Node{Host: h, IP: IP(fmt.Sprintf("%s.%d", l.subnet, l.nextIP))}
+	l.nodes[strings.ToLower(h.Name)] = n
+	return n
+}
+
+// Node returns the attachment record for a host name, or nil.
+func (l *LAN) Node(name string) *Node {
+	return l.nodes[strings.ToLower(name)]
+}
+
+// HostCount returns the number of attached hosts.
+func (l *LAN) HostCount() int { return len(l.nodes) }
+
+// Hosts returns all attached hosts sorted by name.
+func (l *LAN) Hosts() []*host.Host {
+	out := make([]*host.Host, 0, len(l.nodes))
+	for _, n := range l.nodes {
+		out = append(out, n.Host)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Peers returns all attached hosts except the named one, sorted.
+func (l *LAN) Peers(name string) []*host.Host {
+	var out []*host.Host
+	for _, h := range l.Hosts() {
+		if !strings.EqualFold(h.Name, name) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// --- HTTP through the LAN (honouring proxy settings) ---
+
+// HTTP issues an HTTP request from a host. If the host has a ProxyHost
+// configured (e.g. after a WPAD hijack), the request is offered to the
+// proxy node's handler first; a non-nil reply from the proxy is a
+// man-in-the-middle response. Otherwise the request needs internet
+// connectivity and an uplink.
+func (l *LAN) HTTP(from *host.Host, req *Request) (*Response, error) {
+	req.Source = from.Name
+	if from.ProxyHost != "" {
+		if proxy := l.Node(from.ProxyHost); proxy != nil && proxy.Proxy != nil {
+			l.K.Trace().Add(l.K.Now(), sim.CatNetwork, from.Name, "proxied via %s: %s http://%s%s", from.ProxyHost, req.Method, req.Host, req.Path)
+			if resp := proxy.Proxy(req); resp != nil {
+				return resp, nil
+			}
+		}
+	}
+	if !from.Internet {
+		return nil, fmt.Errorf("%w: %s", ErrNoInternet, from.Name)
+	}
+	if l.Uplink == nil {
+		return nil, fmt.Errorf("%w: LAN %s is air-gapped", ErrNoInternet, l.Name)
+	}
+	return l.Uplink.Dispatch(req)
+}
+
+// --- WPAD (NetBIOS proxy auto-discovery) ---
+
+// WPADQuery models a browser broadcasting for wpad.dat on the local
+// segment: with no DNS WPAD record, NetBIOS lets *any* machine answer, so
+// the first responder wins (paper, Fig. 2 and footnote 6). It returns the
+// proxy host name to configure, if any node answered.
+func (l *LAN) WPADQuery(from *host.Host) (string, bool) {
+	for _, name := range l.sortedNodeNames() {
+		n := l.nodes[name]
+		if n.Host == from || n.WPADResponder == nil {
+			continue
+		}
+		if proxyHost, ok := n.WPADResponder(from); ok {
+			l.K.Trace().Add(l.K.Now(), sim.CatNetwork, from.Name, "WPAD answered by %s -> proxy %s", n.Host.Name, proxyHost)
+			return proxyHost, true
+		}
+	}
+	return "", false
+}
+
+// BrowserLaunch models a user opening the browser: the browser performs
+// proxy auto-discovery and adopts whatever configuration it is handed.
+func (l *LAN) BrowserLaunch(h *host.Host) {
+	if proxy, ok := l.WPADQuery(h); ok {
+		h.ProxyHost = proxy
+	}
+}
+
+// ErrStaticARP is returned when the target pins its ARP table.
+var ErrStaticARP = errors.New("netsim: target uses static ARP entries")
+
+// ARPPoison mounts the alternative MITM the paper's footnote 6 names:
+// gratuitous ARP replies redirect the victim's traffic through the
+// attacker immediately — no browser launch or WPAD broadcast needed. It
+// fails against hosts with pinned ARP tables.
+func (l *LAN) ARPPoison(attacker *host.Host, victim string) error {
+	n := l.Node(victim)
+	if n == nil {
+		return fmt.Errorf("%w: %s", ErrNoSuchHost, victim)
+	}
+	if n.StaticARP {
+		return fmt.Errorf("%w: %s", ErrStaticARP, victim)
+	}
+	n.Host.ProxyHost = attacker.Name
+	l.K.Trace().Add(l.K.Now(), sim.CatNetwork, attacker.Name, "arp poisoned %s: traffic redirected", victim)
+	return nil
+}
+
+func (l *LAN) sortedNodeNames() []string {
+	out := make([]string, 0, len(l.nodes))
+	for name := range l.nodes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- SMB file & print sharing ---
+
+// SMB errors.
+var (
+	ErrShareClosed = errors.New("netsim: target has file and print sharing off")
+	ErrNoSuchHost  = errors.New("netsim: no such host on LAN")
+)
+
+// ShareAccessible models the open/close probe Shamoon performs before
+// copying itself: it succeeds when the target exposes open shares.
+func (l *LAN) ShareAccessible(from *host.Host, target string) bool {
+	n := l.Node(target)
+	return n != nil && n.Host.SharesOpen
+}
+
+// CopyToShare writes data into the target's filesystem over SMB.
+func (l *LAN) CopyToShare(from *host.Host, target, remotePath string, data []byte) error {
+	n := l.Node(target)
+	if n == nil {
+		return fmt.Errorf("%w: %s", ErrNoSuchHost, target)
+	}
+	if !n.Host.SharesOpen {
+		return fmt.Errorf("%w: %s", ErrShareClosed, target)
+	}
+	l.K.Trace().Add(l.K.Now(), sim.CatSpread, from.Name, "smb copy to \\\\%s%s (%d bytes)", target, remotePath, len(data))
+	return n.Host.FS.Write(remotePath, data, 0, l.K.Now())
+}
+
+// RemoteExec launches an executable already present on the target (the
+// psexec step of Shamoon's spread). It requires open shares.
+func (l *LAN) RemoteExec(from *host.Host, target, remotePath string) error {
+	n := l.Node(target)
+	if n == nil {
+		return fmt.Errorf("%w: %s", ErrNoSuchHost, target)
+	}
+	if !n.Host.SharesOpen {
+		return fmt.Errorf("%w: %s", ErrShareClosed, target)
+	}
+	l.K.Trace().Add(l.K.Now(), sim.CatSpread, from.Name, "psexec \\\\%s %s", target, remotePath)
+	_, err := n.Host.ExecuteFile(remotePath, true)
+	return err
+}
+
+// --- Print spooler (MS10-061) ---
+
+// MS10_061 is the print-spooler impersonation bulletin gate.
+const MS10_061 = "MS10-061"
+
+// spooler file names from the paper's Stuxnet dissection (Section II-A).
+const (
+	spoolerMOF     = host.SystemDir + `\wbem\mof\sysnullevnt.mof`
+	spoolerDropper = host.SystemDir + `\winsta.exe`
+)
+
+// SpoolerExploit mounts the MS10-061 attack: a crafted print request that
+// writes two "documents" into the target's %system% directory — a MOF file
+// and a dropper — after which MOF event processing launches the dropper.
+// It fails when the target has sharing off or the bulletin installed.
+func (l *LAN) SpoolerExploit(from *host.Host, target string, dropper *pe.File) error {
+	n := l.Node(target)
+	if n == nil {
+		return fmt.Errorf("%w: %s", ErrNoSuchHost, target)
+	}
+	t := n.Host
+	if !t.SharesOpen {
+		return fmt.Errorf("%w: %s", ErrShareClosed, target)
+	}
+	if t.Patched(MS10_061) {
+		return fmt.Errorf("netsim: %s rejected crafted print request (%s installed)", target, MS10_061)
+	}
+	raw, err := dropper.Marshal()
+	if err != nil {
+		return fmt.Errorf("spooler exploit: %w", err)
+	}
+	if err := t.FS.Write(spoolerMOF, []byte("#pragma autorecover\ninstance of __EventFilter ..."), 0, l.K.Now()); err != nil {
+		return err
+	}
+	if err := t.FS.Write(spoolerDropper, raw, host.AttrHidden, l.K.Now()); err != nil {
+		return err
+	}
+	l.K.Trace().Add(l.K.Now(), sim.CatExploit, from.Name, "%s: spooler wrote %s on %s", MS10_061, spoolerDropper, target)
+	// MOF compilation registers the event consumer which launches the
+	// dropper shortly after.
+	l.K.Schedule(0, "mof:"+target, func() {
+		if _, err := t.ExecuteFile(spoolerDropper, true); err != nil {
+			t.Logf(sim.CatExec, "wmi", "mof-launched dropper failed: %v", err)
+		}
+	})
+	return nil
+}

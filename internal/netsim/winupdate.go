@@ -1,0 +1,108 @@
+package netsim
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/host"
+	"repro/internal/pe"
+	"repro/internal/pki"
+	"repro/internal/sim"
+)
+
+// UpdateDomain is the well-known update service name, also used by the
+// malware's connectivity probes.
+const UpdateDomain = "update.windows.sim"
+
+// UpdatePath is the catalog endpoint.
+const UpdatePath = "/v1/latest"
+
+// WindowsUpdate is the simulated update service plus its client logic.
+// Server side: serves the latest published update image. Client side:
+// fetches over the LAN (so a WPAD-configured proxy can intercept), verifies
+// the signature chain against the *host's* trust store, and executes —
+// "Windows OS computers launch Windows update binaries without any
+// restrictions provided that the update is genuine" (paper, III-A).
+type WindowsUpdate struct {
+	in     *Internet
+	latest *pe.File
+}
+
+// NewWindowsUpdate binds the update service at ip and registers
+// UpdateDomain.
+func NewWindowsUpdate(in *Internet, ip IP) *WindowsUpdate {
+	wu := &WindowsUpdate{in: in}
+	in.RegisterDomain(UpdateDomain, ip)
+	in.BindServer(ip, HandlerFunc(func(req *Request) *Response {
+		if req.Path != UpdatePath || wu.latest == nil {
+			return NotFound()
+		}
+		raw, err := wu.latest.Marshal()
+		if err != nil {
+			return &Response{Status: 500}
+		}
+		return OK(raw)
+	}))
+	return wu
+}
+
+// Publish makes img the latest update in the catalog.
+func (wu *WindowsUpdate) Publish(img *pe.File) { wu.latest = img }
+
+// Update-client errors.
+var (
+	ErrUpdateUnavailable = errors.New("netsim: update service unavailable")
+	ErrUpdateRejected    = errors.New("netsim: update signature rejected")
+)
+
+const updateRegPrefix = `HKLM\SOFTWARE\SimWindows\Update\Installed\`
+
+// CheckForUpdates runs one update-client cycle for h: fetch (through any
+// configured proxy), verify, execute. Already-installed updates (by
+// digest) are skipped. It returns the executed image, or nil if nothing
+// new was installed.
+func CheckForUpdates(l *LAN, h *host.Host) (*pe.File, error) {
+	resp, err := l.HTTP(h, &Request{Method: "GET", Host: UpdateDomain, Path: UpdatePath})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUpdateUnavailable, err)
+	}
+	if resp.Status != 200 {
+		return nil, fmt.Errorf("%w: status %d", ErrUpdateUnavailable, resp.Status)
+	}
+	img, err := pe.Parse(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUpdateRejected, err)
+	}
+	digest, err := img.Digest()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUpdateRejected, err)
+	}
+	key := updateRegPrefix + hex.EncodeToString(digest[:8])
+	if _, installed := h.Registry.Get(key); installed {
+		return nil, nil
+	}
+	sig, err := pki.VerifyImage(img, h.CertStore, h.K.Now(), pki.UsageCodeSign)
+	if err != nil {
+		h.Logf(sim.CatCert, "wuauclt", "rejected update %s: %v", img.Name, err)
+		return nil, fmt.Errorf("%w: %v", ErrUpdateRejected, err)
+	}
+	h.Logf(sim.CatNetwork, "wuauclt", "installing update %s signed by %q", img.Name, sig.Chain[0].Subject)
+	h.Registry.Set(key, img.Name)
+	if _, err := h.Execute(img, true); err != nil {
+		return nil, err
+	}
+	return img, nil
+}
+
+// StartUpdateClient schedules periodic update checks for h and returns a
+// cancel function.
+func StartUpdateClient(l *LAN, h *host.Host, every time.Duration) func() {
+	return l.K.Every(every, "wuauclt:"+h.Name, func() {
+		if _, err := CheckForUpdates(l, h); err != nil &&
+			!errors.Is(err, ErrUpdateUnavailable) {
+			h.Logf(sim.CatNetwork, "wuauclt", "update check: %v", err)
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package pe
+
+import (
+	"math"
+)
+
+// XOR applies a repeating-key XOR cipher. It is its own inverse, matching
+// the "simple Xor cipher" the paper reports for Shamoon's encrypted
+// resources. An empty key returns a copy of data unchanged.
+func XOR(data, key []byte) []byte {
+	out := make([]byte, len(data))
+	if len(key) == 0 {
+		copy(out, data)
+		return out
+	}
+	for i, b := range data {
+		out[i] = b ^ key[i%len(key)]
+	}
+	return out
+}
+
+// Entropy returns the Shannon entropy of data in bits per byte (0..8).
+// Analysts use per-section and per-resource entropy to spot encrypted or
+// packed payloads; XOR-encrypted plaintext keeps structure and typically
+// stays well below the ~7.9 of strong ciphertext.
+func Entropy(data []byte) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	var counts [256]int
+	for _, b := range data {
+		counts[b]++
+	}
+	total := float64(len(data))
+	var h float64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / total
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// ExtractStrings returns printable-ASCII runs of at least minLen bytes, in
+// order of appearance — the classic `strings` pass of a dissection.
+func ExtractStrings(data []byte, minLen int) []string {
+	if minLen < 1 {
+		minLen = 1
+	}
+	var out []string
+	start := -1
+	for i, b := range data {
+		printable := b >= 0x20 && b <= 0x7e
+		if printable {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 && i-start >= minLen {
+			out = append(out, string(data[start:i]))
+		}
+		start = -1
+	}
+	if start >= 0 && len(data)-start >= minLen {
+		out = append(out, string(data[start:]))
+	}
+	return out
+}

@@ -1,0 +1,289 @@
+// Package pki implements the simulated certificate infrastructure of the
+// cyber-range: certificates, issuing authorities, trust stores, code
+// signing of SPE images, and the weak-hash collision forging that the paper
+// describes for Flame's leveraged Microsoft Terminal Services certificate.
+//
+// Signatures are real Ed25519 signatures over a digest of the certificate's
+// to-be-signed encoding. The digest algorithm is per-certificate: HashStrong
+// is SHA-256; HashWeak is a deliberately collision-prone truncated hash
+// standing in for the flawed MD5-based algorithm the real attack exploited.
+// Because the Ed25519 signature covers only the digest, two TBS encodings
+// that collide under the weak hash share a valid signature — exactly the
+// property Flame's designers used to mint a code-signing certificate from a
+// limited-use licensing certificate (paper, Fig. 3).
+package pki
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// HashAlgo selects the digest a certificate's issuer signature covers.
+type HashAlgo uint8
+
+// Supported digest algorithms.
+const (
+	HashStrong HashAlgo = iota + 1 // SHA-256; collision-resistant
+	HashWeak                       // truncated 20-bit digest; forgeable
+)
+
+func (h HashAlgo) String() string {
+	switch h {
+	case HashStrong:
+		return "strong-sha256"
+	case HashWeak:
+		return "weak-legacy"
+	default:
+		return fmt.Sprintf("hash(%d)", uint8(h))
+	}
+}
+
+// KeyUsage is a bitmask of operations a certificate is trusted for.
+type KeyUsage uint16
+
+// Key usages appearing in the modelled campaigns.
+const (
+	UsageCA          KeyUsage = 1 << iota // may issue certificates
+	UsageCodeSign                         // may sign user-mode executables
+	UsageDriverSign                       // may sign kernel drivers
+	UsageLicenseOnly                      // Terminal Services license verification only
+)
+
+func (u KeyUsage) String() string {
+	var parts []string
+	add := func(bit KeyUsage, name string) {
+		if u&bit != 0 {
+			parts = append(parts, name)
+		}
+	}
+	add(UsageCA, "ca")
+	add(UsageCodeSign, "code-sign")
+	add(UsageDriverSign, "driver-sign")
+	add(UsageLicenseOnly, "license-only")
+	if len(parts) == 0 {
+		return "none"
+	}
+	return fmt.Sprintf("%v", parts)
+}
+
+// Keypair is an Ed25519 key pair held by a certificate subject. Possession
+// of a Keypair models possession of the private key: the "stolen JMicron
+// and Realtek certificates" of the Stuxnet attack are Keypair+Certificate
+// values exfiltrated into attacker hands.
+type Keypair struct {
+	Public  ed25519.PublicKey
+	private ed25519.PrivateKey
+}
+
+// NewKeypair generates a key pair from a deterministic seed so that
+// simulations replay exactly.
+func NewKeypair(seed [32]byte) *Keypair {
+	priv := ed25519.NewKeyFromSeed(seed[:])
+	return &Keypair{
+		Public:  priv.Public().(ed25519.PublicKey),
+		private: priv,
+	}
+}
+
+// Sign signs digest with the private key.
+func (k *Keypair) Sign(digest []byte) []byte {
+	return ed25519.Sign(k.private, digest)
+}
+
+// Certificate is a simulated X.509-like certificate.
+type Certificate struct {
+	Serial    uint64
+	Subject   string
+	Issuer    string
+	Usages    KeyUsage
+	SigAlgo   HashAlgo // digest algorithm the issuer signature covers
+	NotBefore time.Time
+	NotAfter  time.Time
+	PubKey    ed25519.PublicKey
+	// Padding is an opaque extension blob, serialized at the end of the
+	// TBS encoding. Legitimate certificates leave it empty; forged
+	// certificates use it to steer weak-hash collisions.
+	Padding   []byte
+	Signature []byte
+}
+
+// TBS returns the to-be-signed encoding of the certificate: every field
+// except the signature, with Padding last so collision search can reuse the
+// prefix hash state.
+func (c *Certificate) TBS() []byte {
+	var b bytes.Buffer
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], c.Serial)
+	b.Write(tmp[:])
+	writeStr(&b, c.Subject)
+	writeStr(&b, c.Issuer)
+	binary.LittleEndian.PutUint64(tmp[:], uint64(c.Usages))
+	b.Write(tmp[:])
+	b.WriteByte(byte(c.SigAlgo))
+	binary.LittleEndian.PutUint64(tmp[:], uint64(c.NotBefore.Unix()))
+	b.Write(tmp[:])
+	binary.LittleEndian.PutUint64(tmp[:], uint64(c.NotAfter.Unix()))
+	b.Write(tmp[:])
+	writeStr(&b, string(c.PubKey))
+	b.Write(c.Padding) // unframed tail: collision padding
+	return b.Bytes()
+}
+
+// Digest hashes the TBS encoding under the certificate's signature
+// algorithm.
+func (c *Certificate) Digest() []byte {
+	return DigestData(c.SigAlgo, c.TBS())
+}
+
+// DigestData hashes data under the given algorithm. Both algorithms return
+// a 32-byte digest; HashWeak carries only 20 bits of it, which is what
+// makes collisions practical.
+func DigestData(algo HashAlgo, data []byte) []byte {
+	switch algo {
+	case HashWeak:
+		h := WeakHash(data)
+		out := make([]byte, 32)
+		binary.LittleEndian.PutUint32(out, h)
+		return out
+	default:
+		sum := sha256.Sum256(data)
+		return sum[:]
+	}
+}
+
+// WeakHashBits is the effective strength of the legacy algorithm.
+const WeakHashBits = 20
+
+// WeakHash is the deliberately collision-prone legacy digest: FNV-1a
+// truncated to WeakHashBits bits.
+func WeakHash(data []byte) uint32 {
+	return weakHashContinue(weakHashSeed, data)
+}
+
+const (
+	weakHashSeed  uint32 = 2166136261
+	weakHashPrime uint32 = 16777619
+	weakHashMask  uint32 = 1<<WeakHashBits - 1
+)
+
+func weakHashContinue(state uint32, data []byte) uint32 {
+	for _, b := range data {
+		state ^= uint32(b)
+		state *= weakHashPrime
+	}
+	return state & weakHashMask
+}
+
+// weakHashState returns the internal (untruncated) FNV state after data,
+// for incremental collision search.
+func weakHashState(data []byte) uint32 {
+	state := weakHashSeed
+	for _, b := range data {
+		state ^= uint32(b)
+		state *= weakHashPrime
+	}
+	return state
+}
+
+// Authority couples an issuing certificate with its key pair.
+type Authority struct {
+	Cert *Certificate
+	Key  *Keypair
+
+	nextSerial uint64
+	// defaultAlgo, when set, overrides the digest used for issued
+	// certificates (see Subordinate). Zero means "use the authority
+	// certificate's own SigAlgo".
+	defaultAlgo HashAlgo
+}
+
+// NewRoot creates a self-signed root authority. algo is the digest the root
+// uses when signing (both itself and issued certificates default to it).
+func NewRoot(name string, algo HashAlgo, seed [32]byte, notBefore time.Time, lifetime time.Duration) *Authority {
+	key := NewKeypair(seed)
+	cert := &Certificate{
+		Serial:    1,
+		Subject:   name,
+		Issuer:    name,
+		Usages:    UsageCA,
+		SigAlgo:   algo,
+		NotBefore: notBefore,
+		NotAfter:  notBefore.Add(lifetime),
+		PubKey:    key.Public,
+	}
+	cert.Signature = key.Sign(cert.Digest())
+	return &Authority{Cert: cert, Key: key, nextSerial: 2}
+}
+
+// IssueRequest describes a certificate to be issued.
+type IssueRequest struct {
+	Subject  string
+	Usages   KeyUsage
+	SigAlgo  HashAlgo // digest for the new cert's signature; issuer's default if zero
+	Lifetime time.Duration
+	PubKey   ed25519.PublicKey
+}
+
+// Issue signs a new certificate for the request, valid from now.
+func (a *Authority) Issue(now time.Time, req IssueRequest) (*Certificate, error) {
+	if a.Cert.Usages&UsageCA == 0 {
+		return nil, fmt.Errorf("pki: %q is not a CA", a.Cert.Subject)
+	}
+	if len(req.PubKey) != ed25519.PublicKeySize {
+		return nil, errors.New("pki: issue request missing subject public key")
+	}
+	algo := req.SigAlgo
+	if algo == 0 {
+		algo = a.defaultAlgo
+	}
+	if algo == 0 {
+		algo = a.Cert.SigAlgo
+	}
+	lifetime := req.Lifetime
+	if lifetime <= 0 {
+		lifetime = 365 * 24 * time.Hour
+	}
+	a.nextSerial++
+	cert := &Certificate{
+		Serial:    a.nextSerial,
+		Subject:   req.Subject,
+		Issuer:    a.Cert.Subject,
+		Usages:    req.Usages,
+		SigAlgo:   algo,
+		NotBefore: now,
+		NotAfter:  now.Add(lifetime),
+		PubKey:    req.PubKey,
+	}
+	cert.Signature = a.Key.Sign(cert.Digest())
+	return cert, nil
+}
+
+// Subordinate issues an intermediate CA under this authority and returns it
+// as a new Authority. algo is the digest the subordinate's *own issued
+// certificates' signatures* will default to.
+func (a *Authority) Subordinate(now time.Time, name string, algo HashAlgo, seed [32]byte, lifetime time.Duration) (*Authority, error) {
+	key := NewKeypair(seed)
+	cert, err := a.Issue(now, IssueRequest{
+		Subject:  name,
+		Usages:   UsageCA,
+		SigAlgo:  a.Cert.SigAlgo,
+		Lifetime: lifetime,
+		PubKey:   key.Public,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Authority{Cert: cert, Key: key, nextSerial: 1000, defaultAlgo: algo}, nil
+}
+
+func writeStr(b *bytes.Buffer, s string) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(s)))
+	b.Write(tmp[:])
+	b.WriteString(s)
+}

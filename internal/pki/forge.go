@@ -1,0 +1,55 @@
+package pki
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrNotForgeable is returned when the victim certificate's signature does
+// not use the weak legacy digest (collision forging is then infeasible).
+var ErrNotForgeable = errors.New("pki: victim certificate does not use the weak digest; collision forging infeasible")
+
+// maxForgeAttempts bounds the collision search. With a 20-bit digest the
+// expected cost is ~2^20 trials, so 2^24 gives ample headroom.
+const maxForgeAttempts = 1 << 24
+
+// ForgeFromWeakCert mounts the Flame-style certificate attack (paper,
+// Fig. 3): given a *legitimately issued* certificate whose signature covers
+// the weak legacy digest — such as the limited-use certificate a Terminal
+// Services Licensing Server receives on activation — it constructs a brand
+// new certificate with attacker-chosen subject, usages and public key whose
+// TBS encoding *collides* with the victim's under the weak hash, then
+// transplants the victim's issuer signature onto it.
+//
+// The forged certificate chains exactly where the victim chained (same
+// issuer), but now asserts code-signing authority the licensing certificate
+// never had. The collision is steered through the Padding extension, whose
+// bytes are varied until the truncated digests match.
+func ForgeFromWeakCert(victim *Certificate, forged Certificate) (*Certificate, error) {
+	if victim.SigAlgo != HashWeak {
+		return nil, fmt.Errorf("%w (victim uses %v)", ErrNotForgeable, victim.SigAlgo)
+	}
+	target := WeakHash(victim.TBS())
+
+	out := forged // copy caller's template
+	out.Issuer = victim.Issuer
+	out.SigAlgo = HashWeak
+	out.Signature = nil
+
+	// Incremental search: hash the TBS prefix once, then vary an 8-byte
+	// counter suffix until the truncated state matches the target.
+	out.Padding = nil
+	prefixState := weakHashState(out.TBS())
+	var counter [8]byte
+	for attempt := uint64(0); attempt < maxForgeAttempts; attempt++ {
+		binary.LittleEndian.PutUint64(counter[:], attempt)
+		if weakHashContinue(prefixState, counter[:])&weakHashMask == target {
+			out.Padding = make([]byte, len(counter))
+			copy(out.Padding, counter[:])
+			out.Signature = append([]byte(nil), victim.Signature...)
+			return &out, nil
+		}
+	}
+	return nil, fmt.Errorf("pki: no collision found in %d attempts", maxForgeAttempts)
+}

@@ -1,0 +1,89 @@
+package plc
+
+import (
+	"fmt"
+)
+
+// CommLib is the interface of the s7otbxdx.dll communication library: the
+// only path by which Step 7, the operator HMI and the digital safety
+// system reach the PLC. Replacing the installed CommLib is therefore a
+// complete man-in-the-middle on the engineering and monitoring plane —
+// which is exactly the trick Stuxnet plays (paper, Section II-B).
+type CommLib interface {
+	// ReadBlock fetches a code block from the PLC.
+	ReadBlock(id int) ([]byte, error)
+	// WriteBlock stores a code block on the PLC.
+	WriteBlock(id int, code []byte) error
+	// ListBlocks enumerates stored block IDs.
+	ListBlocks() []int
+	// ReadFrequency reports the observed frequency on a drive.
+	ReadFrequency(driveIdx int) (float64, error)
+	// WriteFrequency commands a drive frequency.
+	WriteFrequency(driveIdx int, hz float64) error
+	// BusInfo describes the communications processor and drive vendors,
+	// the fingerprint Stuxnet matches before arming its payload.
+	BusInfo() BusInfo
+}
+
+// BusInfo is the hardware fingerprint visible through the comm library.
+type BusInfo struct {
+	CPType  string
+	Vendors []string
+}
+
+// DirectLib is the genuine s7otbxdx.dll: straight pass-through to the PLC.
+type DirectLib struct {
+	plc *PLC
+}
+
+var _ CommLib = (*DirectLib)(nil)
+
+// NewDirectLib returns the genuine comm library for p.
+func NewDirectLib(p *PLC) *DirectLib { return &DirectLib{plc: p} }
+
+// ReadBlock implements CommLib.
+func (l *DirectLib) ReadBlock(id int) ([]byte, error) {
+	b, ok := l.plc.readBlock(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoBlock, id)
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, nil
+}
+
+// WriteBlock implements CommLib.
+func (l *DirectLib) WriteBlock(id int, code []byte) error {
+	l.plc.writeBlock(id, code)
+	return nil
+}
+
+// ListBlocks implements CommLib.
+func (l *DirectLib) ListBlocks() []int { return l.plc.blockIDs() }
+
+// ReadFrequency implements CommLib.
+func (l *DirectLib) ReadFrequency(driveIdx int) (float64, error) {
+	if driveIdx < 0 || driveIdx >= len(l.plc.bus.drives) {
+		return 0, fmt.Errorf("plc: no drive %d", driveIdx)
+	}
+	return l.plc.bus.drives[driveIdx].ActualHz(), nil
+}
+
+// WriteFrequency implements CommLib.
+func (l *DirectLib) WriteFrequency(driveIdx int, hz float64) error {
+	return l.plc.SetDriveCommand(driveIdx, hz)
+}
+
+// BusInfo implements CommLib.
+func (l *DirectLib) BusInfo() BusInfo {
+	info := BusInfo{CPType: l.plc.bus.CPType}
+	for _, d := range l.plc.bus.drives {
+		info.Vendors = append(info.Vendors, d.Vendor)
+	}
+	return info
+}
+
+// PLC exposes the underlying controller — used by attack code that has
+// already replaced the library and by tests; the legitimate applications
+// never touch it.
+func (l *DirectLib) PLC() *PLC { return l.plc }

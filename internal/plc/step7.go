@@ -1,0 +1,198 @@
+package plc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/host"
+	"repro/internal/sim"
+)
+
+// CommLibDLL is the comm library's file name inside a Step 7 install.
+const CommLibDLL = "s7otbxdx.dll"
+
+// CommLibBackup is the name Stuxnet renames the genuine library to.
+const CommLibBackup = "s7otbxsx.dll"
+
+// Step7 is the engineering application installed on a Windows host. All
+// PLC access flows through its comm library.
+type Step7 struct {
+	Host       *host.Host
+	InstallDir string
+	lib        CommLib
+	// openHooks fire whenever a project is opened — the API-hook point
+	// Stuxnet uses to find and infect project folders.
+	openHooks []func(projectDir string)
+	// openedProjects records project folders in open order.
+	openedProjects []string
+}
+
+// NewStep7 installs Step 7 on h with the genuine comm library for the
+// target PLC.
+func NewStep7(h *host.Host, installDir string, target *PLC) *Step7 {
+	s := &Step7{Host: h, InstallDir: host.CleanPath(installDir), lib: NewDirectLib(target)}
+	// The genuine DLL exists as a file too, so file-level swaps are
+	// observable by forensics.
+	h.FS.Write(s.DLLPath(), []byte("GENUINE "+CommLibDLL+" v5.4"), 0, h.K.Now())
+	return s
+}
+
+// DLLPath returns the comm library path on disk.
+func (s *Step7) DLLPath() string { return s.InstallDir + `\` + CommLibDLL }
+
+// Lib returns the currently loaded comm library.
+func (s *Step7) Lib() CommLib { return s.lib }
+
+// ReplaceLib swaps the loaded comm library — the object-graph half of the
+// s7otbxdx.dll replacement (the file-level half is an FS rename + write).
+func (s *Step7) ReplaceLib(lib CommLib) {
+	s.lib = lib
+	s.Host.Logf(sim.CatPLC, "step7", "comm library implementation replaced")
+}
+
+// OnProjectOpen registers a hook fired for every opened project.
+func (s *Step7) OnProjectOpen(hook func(projectDir string)) {
+	s.openHooks = append(s.openHooks, hook)
+}
+
+// ErrNoProject is returned when the project folder does not exist.
+var ErrNoProject = errors.New("plc: no such Step 7 project")
+
+// OpenProject opens a project folder, firing open hooks.
+func (s *Step7) OpenProject(dir string) error {
+	dir = host.CleanPath(dir)
+	if !s.Host.FS.DirExists(dir) {
+		return fmt.Errorf("%w: %s", ErrNoProject, dir)
+	}
+	s.openedProjects = append(s.openedProjects, dir)
+	s.Host.Logf(sim.CatPLC, "step7", "opened project %s", dir)
+	for _, hook := range s.openHooks {
+		hook(dir)
+	}
+	return nil
+}
+
+// OpenedProjects returns project folders in open order.
+func (s *Step7) OpenedProjects() []string {
+	out := make([]string, len(s.openedProjects))
+	copy(out, s.openedProjects)
+	return out
+}
+
+// DownloadBlock writes a code block to the PLC through the comm library —
+// what an engineer does when (re)programming the controller.
+func (s *Step7) DownloadBlock(id int, code []byte) error {
+	return s.lib.WriteBlock(id, code)
+}
+
+// UploadBlock reads a block back for display/compare.
+func (s *Step7) UploadBlock(id int) ([]byte, error) {
+	return s.lib.ReadBlock(id)
+}
+
+// ListBlocks enumerates blocks as the engineer sees them.
+func (s *Step7) ListBlocks() []int { return s.lib.ListBlocks() }
+
+// NewProject creates a project folder with the standard file skeleton.
+func NewProject(h *host.Host, dir string) error {
+	dir = host.CleanPath(dir)
+	files := map[string]string{
+		dir + `\project.s7p`:      "SIMATIC project file",
+		dir + `\blocks\ob1.blk`:   "ORGANIZATION BLOCK OB1: main scan",
+		dir + `\blocks\db890.blk`: "DATA BLOCK DB890",
+	}
+	for path, content := range files {
+		if err := h.FS.Write(path, []byte(content), 0, h.K.Now()); err != nil {
+			return fmt.Errorf("new project: %w", err)
+		}
+	}
+	return nil
+}
+
+// ProjectInfected reports whether a project folder carries the dropped
+// infection artefacts.
+func ProjectInfected(h *host.Host, dir string) bool {
+	dir = host.CleanPath(dir)
+	for _, f := range h.FS.List(dir) {
+		if strings.Contains(strings.ToLower(f.Path), "xutils") {
+			return true
+		}
+	}
+	return h.FS.Exists(dir + `\xutils\listen.xr`)
+}
+
+// OperatorView is the HMI: it polls drive frequencies through the comm
+// library and keeps the last readings — what the plant operator sees.
+type OperatorView struct {
+	lib      CommLib
+	Readings []float64
+}
+
+// NewOperatorView returns an HMI bound to the library.
+func NewOperatorView(lib CommLib) *OperatorView {
+	return &OperatorView{lib: lib}
+}
+
+// Poll refreshes the displayed frequencies.
+func (v *OperatorView) Poll(driveCount int) {
+	v.Readings = v.Readings[:0]
+	for i := 0; i < driveCount; i++ {
+		hz, err := v.lib.ReadFrequency(i)
+		if err != nil {
+			hz = -1
+		}
+		v.Readings = append(v.Readings, hz)
+	}
+}
+
+// AllNormal reports whether every displayed frequency is inside the normal
+// operating band.
+func (v *OperatorView) AllNormal() bool {
+	for _, hz := range v.Readings {
+		if hz < TriggerMinHz || hz > TriggerMaxHz {
+			return false
+		}
+	}
+	return len(v.Readings) > 0
+}
+
+// SafetySystem is the digital protection system. It observes frequencies
+// through the same comm-library plane and trips — commanding all drives to
+// zero — when readings leave the protection band. Stuxnet's replay of
+// recorded normal values blinds it (paper, Section II-C).
+type SafetySystem struct {
+	lib     CommLib
+	Tripped bool
+	// Protection band.
+	MinHz, MaxHz float64
+}
+
+// NewSafetySystem returns a protection system bound to the library.
+func NewSafetySystem(lib CommLib) *SafetySystem {
+	return &SafetySystem{lib: lib, MinHz: 700, MaxHz: 1300}
+}
+
+// Check polls all drives; out-of-band readings trip the system, which
+// immediately commands every drive to zero through the library.
+func (ss *SafetySystem) Check(driveCount int) {
+	if ss.Tripped {
+		return
+	}
+	for i := 0; i < driveCount; i++ {
+		hz, err := ss.lib.ReadFrequency(i)
+		if err != nil {
+			continue
+		}
+		if hz < ss.MinHz || hz > ss.MaxHz {
+			ss.Tripped = true
+			for j := 0; j < driveCount; j++ {
+				// Shutdown command: a trip is an emergency stop.
+				if err := ss.lib.WriteFrequency(j, 0); err != nil {
+					continue
+				}
+			}
+			return
+		}
+	}
+}

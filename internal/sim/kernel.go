@@ -1,0 +1,243 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// that every substrate in the cyber-range is built on.
+//
+// The kernel maintains a virtual clock and a priority queue of scheduled
+// events. Events fire in timestamp order; ties are broken by scheduling
+// sequence number so that runs are fully deterministic. All randomness in
+// the range must come from the kernel's seeded RNG.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Epoch is the default virtual start time of a simulation: shortly before
+// the Stuxnet campaign window described in the paper.
+var Epoch = time.Date(2010, time.June, 1, 0, 0, 0, 0, time.UTC)
+
+// ErrStopped is returned by Run variants when the kernel was stopped
+// explicitly via Stop before the run condition was reached.
+var ErrStopped = errors.New("sim: kernel stopped")
+
+// Event is a scheduled callback inside the simulation.
+type Event struct {
+	at    time.Time
+	seq   uint64
+	name  string
+	fn    func()
+	index int // heap index; -1 once popped or cancelled
+}
+
+// At returns the virtual time at which the event fires.
+func (e *Event) At() time.Time { return e.at }
+
+// Name returns the debug name given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is the discrete-event simulation core. It is not safe for
+// concurrent use; the entire range is single-threaded and deterministic.
+type Kernel struct {
+	now     time.Time
+	seq     uint64
+	queue   eventHeap
+	rng     *RNG
+	trace   *Trace
+	stopped bool
+	steps   uint64
+}
+
+// Option configures a Kernel at construction time.
+type Option func(*Kernel)
+
+// WithStart sets the virtual start time (default Epoch).
+func WithStart(t time.Time) Option {
+	return func(k *Kernel) { k.now = t }
+}
+
+// WithSeed seeds the kernel RNG (default 1).
+func WithSeed(seed uint64) Option {
+	return func(k *Kernel) { k.rng = NewRNG(seed) }
+}
+
+// WithTraceCapacity sets the trace ring-buffer capacity (default 4096).
+func WithTraceCapacity(n int) Option {
+	return func(k *Kernel) { k.trace = NewTrace(n) }
+}
+
+// NewKernel returns a kernel positioned at Epoch with a seeded RNG.
+func NewKernel(opts ...Option) *Kernel {
+	k := &Kernel{
+		now:   Epoch,
+		rng:   NewRNG(1),
+		trace: NewTrace(4096),
+	}
+	for _, opt := range opts {
+		opt(k)
+	}
+	return k
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Time { return k.now }
+
+// RNG returns the kernel's deterministic random source.
+func (k *Kernel) RNG() *RNG { return k.rng }
+
+// Trace returns the kernel's structured trace log.
+func (k *Kernel) Trace() *Trace { return k.trace }
+
+// Steps reports how many events have been executed so far.
+func (k *Kernel) Steps() uint64 { return k.steps }
+
+// Pending reports how many events are waiting in the queue.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Schedule enqueues fn to run after delay d. Negative delays are treated as
+// zero. The returned Event may be passed to Cancel.
+func (k *Kernel) Schedule(d time.Duration, name string, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return k.ScheduleAt(k.now.Add(d), name, fn)
+}
+
+// ScheduleAt enqueues fn to run at virtual time t. Times in the past are
+// clamped to now.
+func (k *Kernel) ScheduleAt(t time.Time, name string, fn func()) *Event {
+	if fn == nil {
+		panic("sim: ScheduleAt with nil fn")
+	}
+	if t.Before(k.now) {
+		t = k.now
+	}
+	k.seq++
+	ev := &Event{at: t, seq: k.seq, name: name, fn: fn}
+	heap.Push(&k.queue, ev)
+	return ev
+}
+
+// Every schedules fn to run repeatedly with the given period, starting one
+// period from now, until the returned cancel function is called.
+func (k *Kernel) Every(period time.Duration, name string, fn func()) (cancel func()) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: Every with non-positive period %v", period))
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			k.Schedule(period, name, tick)
+		}
+	}
+	k.Schedule(period, name, tick)
+	return func() { stopped = true }
+}
+
+// Cancel removes a previously scheduled event. Cancelling an event that has
+// already fired (or was already cancelled) is a no-op.
+func (k *Kernel) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&k.queue, ev.index)
+	ev.index = -1
+}
+
+// Stop halts the current Run call after the in-flight event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	if len(k.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&k.queue).(*Event)
+	k.now = ev.at
+	k.steps++
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events until the queue is empty, the kernel is stopped,
+// or the next event would fire after deadline. The clock is advanced to
+// deadline when the run completes normally with time left.
+func (k *Kernel) RunUntil(deadline time.Time) error {
+	k.stopped = false
+	for !k.stopped {
+		if len(k.queue) == 0 {
+			break
+		}
+		if k.queue[0].at.After(deadline) {
+			break
+		}
+		k.Step()
+	}
+	if k.stopped {
+		return ErrStopped
+	}
+	if k.now.Before(deadline) {
+		k.now = deadline
+	}
+	return nil
+}
+
+// RunFor is RunUntil(now + d).
+func (k *Kernel) RunFor(d time.Duration) error {
+	return k.RunUntil(k.now.Add(d))
+}
+
+// Drain executes events until the queue is empty or maxSteps events have
+// run. It returns the number of events executed. Use a sensible maxSteps to
+// guard against self-perpetuating schedules (periodic timers).
+func (k *Kernel) Drain(maxSteps uint64) uint64 {
+	k.stopped = false
+	var n uint64
+	for n < maxSteps && !k.stopped {
+		if !k.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}

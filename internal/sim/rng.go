@@ -1,0 +1,78 @@
+package sim
+
+// RNG is a small, fast, deterministic random source (splitmix64). Every
+// stochastic decision in the range must derive from a kernel RNG so that
+// simulations replay bit-for-bit from a seed.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns an RNG seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Fork derives an independent child RNG whose stream is a pure function of
+// the parent's current state. Useful to give each host its own stream.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64() ^ 0x9e3779b97f4a7c15)
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Bytes fills and returns a new slice of n pseudorandom bytes.
+func (r *RNG) Bytes(n int) []byte {
+	b := make([]byte, n)
+	for i := 0; i < n; i += 8 {
+		v := r.Uint64()
+		for j := 0; j < 8 && i+j < n; j++ {
+			b[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return b
+}
+
+// Pick returns a uniformly chosen element of items. It panics on an empty
+// slice.
+func Pick[T any](r *RNG, items []T) T {
+	return items[r.Intn(len(items))]
+}
+
+// Shuffle permutes items in place (Fisher-Yates).
+func Shuffle[T any](r *RNG, items []T) {
+	for i := len(items) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		items[i], items[j] = items[j], items[i]
+	}
+}

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Category classifies trace records so analyses (and tests) can filter the
+// event stream without string matching on messages.
+type Category string
+
+// Well-known trace categories used across the range.
+const (
+	CatExec      Category = "exec"      // process/sample execution
+	CatInfect    Category = "infect"    // successful compromise of a host
+	CatSpread    Category = "spread"    // propagation attempt
+	CatExploit   Category = "exploit"   // exploit gate fired
+	CatNetwork   Category = "network"   // network traffic
+	CatC2        Category = "c2"        // command-and-control exchange
+	CatExfil     Category = "exfil"     // data theft
+	CatPLC       Category = "plc"       // industrial process events
+	CatWipe      Category = "wipe"      // destructive action
+	CatDefense   Category = "defense"   // security product activity
+	CatCert      Category = "cert"      // certificate operations
+	CatSuicide   Category = "suicide"   // self-removal
+	CatBluetooth Category = "bluetooth" // bluetooth activity
+	CatUSB       Category = "usb"       // removable media activity
+)
+
+// Record is one structured trace entry.
+type Record struct {
+	At      time.Time
+	Cat     Category
+	Actor   string // emitting component, e.g. host name or module name
+	Message string
+}
+
+func (r Record) String() string {
+	return fmt.Sprintf("%s [%s] %s: %s", r.At.Format(time.RFC3339), r.Cat, r.Actor, r.Message)
+}
+
+// Trace is a bounded ring buffer of Records plus running per-category
+// counters. Counters are never evicted, so fleet-scale runs can rely on
+// counts even after old records rotate out.
+type Trace struct {
+	records []Record
+	next    int
+	full    bool
+	counts  map[Category]int
+	muted   bool
+}
+
+// NewTrace returns a trace holding at most capacity records.
+func NewTrace(capacity int) *Trace {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Trace{
+		records: make([]Record, capacity),
+		counts:  make(map[Category]int),
+	}
+}
+
+// SetMuted disables (true) or enables (false) record retention. Counters
+// still accumulate while muted; benchmarks use this to avoid log churn.
+func (t *Trace) SetMuted(m bool) { t.muted = m }
+
+// Add appends a record.
+func (t *Trace) Add(at time.Time, cat Category, actor, format string, args ...any) {
+	t.counts[cat]++
+	if t.muted {
+		return
+	}
+	msg := format
+	if len(args) > 0 {
+		msg = fmt.Sprintf(format, args...)
+	}
+	t.records[t.next] = Record{At: at, Cat: cat, Actor: actor, Message: msg}
+	t.next++
+	if t.next == len(t.records) {
+		t.next = 0
+		t.full = true
+	}
+}
+
+// Count returns how many records of the category were ever added.
+func (t *Trace) Count(cat Category) int { return t.counts[cat] }
+
+// Records returns retained records in chronological order.
+func (t *Trace) Records() []Record {
+	if !t.full {
+		out := make([]Record, t.next)
+		copy(out, t.records[:t.next])
+		return out
+	}
+	out := make([]Record, 0, len(t.records))
+	out = append(out, t.records[t.next:]...)
+	out = append(out, t.records[:t.next]...)
+	return out
+}
+
+// Filter returns retained records matching the category, in order.
+func (t *Trace) Filter(cat Category) []Record {
+	var out []Record
+	for _, r := range t.Records() {
+		if r.Cat == cat {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Find returns retained records whose message contains substr.
+func (t *Trace) Find(substr string) []Record {
+	var out []Record
+	for _, r := range t.Records() {
+		if strings.Contains(r.Message, substr) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Dump renders all retained records, one per line.
+func (t *Trace) Dump() string {
+	var b strings.Builder
+	for _, r := range t.Records() {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

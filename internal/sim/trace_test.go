@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceAddAndCount(t *testing.T) {
+	tr := NewTrace(16)
+	at := Epoch
+	tr.Add(at, CatInfect, "host1", "compromised via %s", "LNK")
+	tr.Add(at, CatInfect, "host2", "compromised via spooler")
+	tr.Add(at, CatWipe, "host1", "MBR overwritten")
+	if tr.Count(CatInfect) != 2 {
+		t.Fatalf("Count(infect) = %d, want 2", tr.Count(CatInfect))
+	}
+	if tr.Count(CatWipe) != 1 {
+		t.Fatalf("Count(wipe) = %d, want 1", tr.Count(CatWipe))
+	}
+	if tr.Count(CatExfil) != 0 {
+		t.Fatalf("Count(exfil) = %d, want 0", tr.Count(CatExfil))
+	}
+}
+
+func TestTraceRingRotation(t *testing.T) {
+	tr := NewTrace(3)
+	for i := 0; i < 5; i++ {
+		tr.Add(Epoch.Add(time.Duration(i)*time.Second), CatExec, "a", "event %d", i)
+	}
+	recs := tr.Records()
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3", len(recs))
+	}
+	if recs[0].Message != "event 2" || recs[2].Message != "event 4" {
+		t.Fatalf("wrong rotation window: %v", recs)
+	}
+	if tr.Count(CatExec) != 5 {
+		t.Fatalf("counter lost on rotation: %d", tr.Count(CatExec))
+	}
+}
+
+func TestTraceChronologicalOrder(t *testing.T) {
+	tr := NewTrace(10)
+	for i := 0; i < 4; i++ {
+		tr.Add(Epoch.Add(time.Duration(i)*time.Minute), CatNetwork, "net", "pkt %d", i)
+	}
+	recs := tr.Records()
+	for i := 1; i < len(recs); i++ {
+		if recs[i].At.Before(recs[i-1].At) {
+			t.Fatalf("records out of order at %d", i)
+		}
+	}
+}
+
+func TestTraceFilterAndFind(t *testing.T) {
+	tr := NewTrace(10)
+	tr.Add(Epoch, CatC2, "flame", "GET_NEWS")
+	tr.Add(Epoch, CatExfil, "flame", "ADD_ENTRY 4096 bytes")
+	tr.Add(Epoch, CatC2, "flame", "update received")
+	if got := len(tr.Filter(CatC2)); got != 2 {
+		t.Fatalf("Filter(c2) = %d, want 2", got)
+	}
+	if got := len(tr.Find("ADD_ENTRY")); got != 1 {
+		t.Fatalf("Find = %d, want 1", got)
+	}
+}
+
+func TestTraceMutedKeepsCounters(t *testing.T) {
+	tr := NewTrace(10)
+	tr.SetMuted(true)
+	tr.Add(Epoch, CatWipe, "shamoon", "wiped")
+	if len(tr.Records()) != 0 {
+		t.Fatal("muted trace retained records")
+	}
+	if tr.Count(CatWipe) != 1 {
+		t.Fatal("muted trace lost counter")
+	}
+}
+
+func TestTraceDumpFormat(t *testing.T) {
+	tr := NewTrace(4)
+	tr.Add(Epoch, CatCert, "pki", "signed driver")
+	dump := tr.Dump()
+	if !strings.Contains(dump, "[cert]") || !strings.Contains(dump, "signed driver") {
+		t.Fatalf("unexpected dump: %q", dump)
+	}
+}
+
+func TestTraceTinyCapacity(t *testing.T) {
+	tr := NewTrace(0) // clamps to 1
+	tr.Add(Epoch, CatExec, "a", "one")
+	tr.Add(Epoch, CatExec, "a", "two")
+	recs := tr.Records()
+	if len(recs) != 1 || recs[0].Message != "two" {
+		t.Fatalf("records = %v", recs)
+	}
+}

@@ -1,0 +1,104 @@
+package yara
+
+// Scan evaluates every rule against data and returns the matches, in rule
+// declaration order. A nil rule set matches nothing.
+func (rs *RuleSet) Scan(data []byte) []Match {
+	if rs == nil {
+		return nil
+	}
+	var out []Match
+	for _, r := range rs.Rules {
+		if m, ok := r.Eval(data); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// ScanNames is Scan returning only the matching rule names.
+func (rs *RuleSet) ScanNames(data []byte) []string {
+	var out []string
+	for _, m := range rs.Scan(data) {
+		out = append(out, m.Rule.Name)
+	}
+	return out
+}
+
+// Eval evaluates one rule against data.
+func (r *Rule) Eval(data []byte) (Match, bool) {
+	hits := make(map[string][]int, len(r.Patterns))
+	for _, p := range r.Patterns {
+		if offs := p.FindAll(data); len(offs) > 0 {
+			hits[p.ID] = offs
+		}
+	}
+	ok, err := evalCond(r.cond, hits, len(r.Patterns))
+	if err != nil || !ok {
+		return Match{}, false
+	}
+	return Match{Rule: r, Hits: hits}, true
+}
+
+// FindAll returns all match offsets of the pattern in data (including
+// overlapping matches), ascending.
+func (p *Pattern) FindAll(data []byte) []int {
+	var out []int
+	switch {
+	case p.IsHex():
+		n := len(p.Hex)
+		for i := 0; i+n <= len(data); i++ {
+			if hexMatchAt(data, i, p.Hex, p.Mask) {
+				out = append(out, i)
+			}
+		}
+	case p.Nocase:
+		n := len(p.Text)
+		for i := 0; i+n <= len(data); i++ {
+			if foldMatchAt(data, i, p.Text) {
+				out = append(out, i)
+			}
+		}
+	default:
+		n := len(p.Text)
+		for i := 0; i+n <= len(data); i++ {
+			if matchAt(data, i, p.Text) {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+func matchAt(data []byte, off int, pat []byte) bool {
+	for j, b := range pat {
+		if data[off+j] != b {
+			return false
+		}
+	}
+	return true
+}
+
+func foldMatchAt(data []byte, off int, pat []byte) bool {
+	for j, b := range pat {
+		if toLower(data[off+j]) != toLower(b) {
+			return false
+		}
+	}
+	return true
+}
+
+func hexMatchAt(data []byte, off int, hex []byte, mask []bool) bool {
+	for j := range hex {
+		if mask[j] && data[off+j] != hex[j] {
+			return false
+		}
+	}
+	return true
+}
+
+func toLower(b byte) byte {
+	if b >= 'A' && b <= 'Z' {
+		return b + 32
+	}
+	return b
+}

@@ -1,0 +1,178 @@
+// Package yara implements a YARA-like rule language and scanning engine —
+// the signature side of the dissection toolchain. Rules are parsed from a
+// textual form close to real YARA:
+//
+//	rule ShamoonDropper {
+//	    meta:
+//	        family = "shamoon"
+//	        severity = "high"
+//	    strings:
+//	        $svc = "TrkSvr"
+//	        $rep = "netinit.exe"
+//	        $jpg = { FF D8 FF ?? 00 }
+//	    condition:
+//	        $svc and ($rep or $jpg) and 2 of them
+//	}
+//
+// Supported string forms: quoted text (optionally `nocase`) and hex byte
+// patterns with `??` wildcards. Supported conditions: $id references,
+// and/or/not, parentheses, `N of them`, `any of them`, `all of them`, and
+// count comparisons `#id OP n` (OP in == != < <= > >=).
+package yara
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pattern is one compiled string declaration.
+type Pattern struct {
+	ID     string // without the $
+	Nocase bool
+	// Text is set for quoted patterns.
+	Text []byte
+	// Hex is set for hex patterns; Mask[i]==false means wildcard byte.
+	Hex  []byte
+	Mask []bool
+}
+
+// IsHex reports whether the pattern is a hex pattern.
+func (p *Pattern) IsHex() bool { return p.Mask != nil }
+
+// Rule is one compiled rule.
+type Rule struct {
+	Name     string
+	Meta     map[string]string
+	Patterns []*Pattern
+	cond     condNode
+}
+
+// Pattern returns the pattern with the given id, or nil.
+func (r *Rule) Pattern(id string) *Pattern {
+	for _, p := range r.Patterns {
+		if p.ID == id {
+			return p
+		}
+	}
+	return nil
+}
+
+// RuleSet is a compiled collection of rules.
+type RuleSet struct {
+	Rules []*Rule
+}
+
+// RuleNames returns the rule names in declaration order.
+func (rs *RuleSet) RuleNames() []string {
+	out := make([]string, len(rs.Rules))
+	for i, r := range rs.Rules {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// Match is one rule firing on scanned data.
+type Match struct {
+	Rule *Rule
+	// Hits maps pattern id to match offsets (sorted ascending).
+	Hits map[string][]int
+}
+
+// MatchedIDs returns the pattern ids that hit, sorted.
+func (m *Match) MatchedIDs() []string {
+	out := make([]string, 0, len(m.Hits))
+	for id := range m.Hits {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// condition AST
+type condNode interface{ condMark() }
+
+type condRef struct{ id string }     // $id
+type condNot struct{ e condNode }    // not e
+type condAnd struct{ l, r condNode } // l and r
+type condOr struct{ l, r condNode }  // l or r
+type condOfThem struct {
+	n   int  // N of them
+	all bool // all of them
+	any bool // any of them
+}
+type condCount struct { // #id OP n
+	id string
+	op string
+	n  int
+}
+
+func (*condRef) condMark()    {}
+func (*condNot) condMark()    {}
+func (*condAnd) condMark()    {}
+func (*condOr) condMark()     {}
+func (*condOfThem) condMark() {}
+func (*condCount) condMark()  {}
+
+// evalCond evaluates the condition against hit counts.
+func evalCond(n condNode, hits map[string][]int, total int) (bool, error) {
+	switch c := n.(type) {
+	case *condRef:
+		return len(hits[c.id]) > 0, nil
+	case *condNot:
+		v, err := evalCond(c.e, hits, total)
+		return !v, err
+	case *condAnd:
+		l, err := evalCond(c.l, hits, total)
+		if err != nil {
+			return false, err
+		}
+		if !l {
+			return false, nil
+		}
+		return evalCond(c.r, hits, total)
+	case *condOr:
+		l, err := evalCond(c.l, hits, total)
+		if err != nil {
+			return false, err
+		}
+		if l {
+			return true, nil
+		}
+		return evalCond(c.r, hits, total)
+	case *condOfThem:
+		matched := 0
+		for _, offs := range hits {
+			if len(offs) > 0 {
+				matched++
+			}
+		}
+		switch {
+		case c.all:
+			return matched == total, nil
+		case c.any:
+			return matched >= 1, nil
+		default:
+			return matched >= c.n, nil
+		}
+	case *condCount:
+		count := len(hits[c.id])
+		switch c.op {
+		case "==":
+			return count == c.n, nil
+		case "!=":
+			return count != c.n, nil
+		case "<":
+			return count < c.n, nil
+		case "<=":
+			return count <= c.n, nil
+		case ">":
+			return count > c.n, nil
+		case ">=":
+			return count >= c.n, nil
+		default:
+			return false, fmt.Errorf("yara: unknown count operator %q", c.op)
+		}
+	default:
+		return false, fmt.Errorf("yara: unknown condition node %T", n)
+	}
+}
