@@ -11,6 +11,7 @@ package repro
 // for a fixed seed.
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -41,6 +42,32 @@ func benchExperiment(b *testing.B, id string, metrics ...string) {
 		}
 	}
 }
+
+// --- The full campaign sweep, sequential vs worker pool ---
+
+func benchRunAll(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		for _, rep := range core.RunAllParallel(1, workers) {
+			if rep.Err != nil {
+				b.Fatalf("%s: %v", rep.ID, rep.Err)
+			}
+			if !rep.Result.Pass {
+				b.Fatalf("%s did not reproduce:\n%s", rep.ID, rep.Result.Render())
+			}
+		}
+	}
+}
+
+// BenchmarkRunAllSequential is the pre-pool baseline: all 25 experiments
+// on one goroutine. Compare with BenchmarkRunAllParallel on a multi-core
+// box; on a single hardware thread the two are equivalent by design.
+func BenchmarkRunAllSequential(b *testing.B) { benchRunAll(b, 1) }
+
+// BenchmarkRunAllParallel fans the 25 experiments out across GOMAXPROCS
+// workers. Each experiment owns an independent world, so wall clock
+// approaches the heaviest single experiment (C7) as cores are added.
+func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, runtime.GOMAXPROCS(0)) }
 
 // --- Figures ---
 

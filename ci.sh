@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI gate for the repository. Runs the tier-1 verify (build + full tests)
+# plus formatting, vet, and a race lane that exercises the parallel
+# experiment runner (worker pool + multi-seed sweep over the fast F3 / C1 /
+# C8 subset) and every package that participates in it.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt required on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test ./...
+
+# Race lane: prove the parallel runner is race-clean. Each experiment owns
+# an independent world, so these only fail if shared mutable state sneaks
+# into a substrate package.
+go test -race -run 'Parallel|Sweep|RaceLane' ./internal/core
+go test -race ./internal/sim ./internal/netsim ./internal/cnc
+
+echo "ci: all gates passed"

@@ -6,13 +6,22 @@
 //
 //	cyberlab -list
 //	cyberlab -run F1 [-seed 7]
-//	cyberlab -all
+//	cyberlab -all [-parallel 8]
+//	cyberlab -all -seeds 1..16 [-parallel 8]
+//
+// -parallel fans experiments out across a worker pool; the report is
+// byte-identical to a sequential run because each experiment owns an
+// independent world and results are emitted in report order. Per-
+// experiment wall-clock timings go to stderr so the report itself stays
+// deterministic. -seeds switches to a Monte Carlo sweep that aggregates
+// per-metric min/mean/max across seeds.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -29,14 +38,19 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("cyberlab", flag.ContinueOnError)
 	var (
-		list = fs.Bool("list", false, "list experiment IDs and exit")
-		id   = fs.String("run", "", "run a single experiment by ID (e.g. F1)")
-		all  = fs.Bool("all", false, "run every experiment")
-		seed = fs.Uint64("seed", 1, "deterministic simulation seed")
-		out  = fs.String("o", "", "also write the report to this file")
+		list     = fs.Bool("list", false, "list experiment IDs and exit")
+		id       = fs.String("run", "", "run a single experiment by ID (e.g. F1)")
+		all      = fs.Bool("all", false, "run every experiment")
+		seed     = fs.Uint64("seed", 1, "deterministic simulation seed")
+		seeds    = fs.String("seeds", "", "seed sweep: A..B (inclusive) or comma list; aggregates min/mean/max per metric")
+		parallel = fs.Int("parallel", 1, "worker goroutines for -all and -seeds")
+		out      = fs.String("o", "", "also write the report to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *parallel < 1 {
+		return fmt.Errorf("-parallel must be >= 1 (got %d)", *parallel)
 	}
 	var report strings.Builder
 	emit := func(format string, a ...any) {
@@ -57,6 +71,36 @@ func run(args []string) error {
 			fmt.Println(eid)
 		}
 		return nil
+	case *seeds != "":
+		ids := core.ExperimentIDs()
+		if *id != "" {
+			if core.Experiments[*id] == nil {
+				return fmt.Errorf("unknown experiment %q (try -list)", *id)
+			}
+			ids = []string{*id}
+		}
+		seedList, err := parseSeeds(*seeds)
+		if err != nil {
+			return err
+		}
+		started := time.Now()
+		entries := core.SweepSeeds(ids, seedList, *parallel)
+		emit("%s", core.RenderSweep(entries))
+		passes, runs, errored := 0, 0, 0
+		for _, e := range entries {
+			passes += e.Passes
+			runs += e.Seeds
+			errored += len(e.Errors)
+			fmt.Fprintf(os.Stderr, "%-4s %8.3fs across %d seeds\n", e.ID, e.Wall.Seconds(), e.Seeds)
+		}
+		emit("%d/%d sweep runs reproduced (%d experiments x %d seeds)\n",
+			passes, runs, len(ids), len(seedList))
+		fmt.Fprintf(os.Stderr, "sweep wall %v (%d workers)\n",
+			time.Since(started).Round(time.Millisecond), *parallel)
+		if passes != runs {
+			return fmt.Errorf("%d sweep runs failed (%d runner errors)", runs-passes, errored)
+		}
+		return nil
 	case *id != "":
 		runner, ok := core.Experiments[*id]
 		if !ok {
@@ -68,32 +112,78 @@ func run(args []string) error {
 			return err
 		}
 		emit("%s", res.Render())
-		emit("  wall time: %v\n", time.Since(started).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "%-4s %8.3fs\n", *id, time.Since(started).Seconds())
 		if !res.Pass {
 			return fmt.Errorf("experiment %s did not reproduce", *id)
 		}
 		return nil
 	case *all:
 		started := time.Now()
-		results, err := core.RunAll(*seed)
-		if err != nil {
-			return err
-		}
-		failed := 0
-		for _, res := range results {
-			emit("%s\n", res.Render())
-			if !res.Pass {
+		reports := core.RunAllParallel(*seed, *parallel)
+		failed, errored := 0, 0
+		for _, rep := range reports {
+			if rep.Err != nil {
+				errored++
+				emit("%v\n\n", rep.Err)
+				continue
+			}
+			emit("%s\n", rep.Result.Render())
+			if !rep.Result.Pass {
 				failed++
 			}
 		}
-		emit("%d/%d experiments reproduced (seed %d, wall %v)\n",
-			len(results)-failed, len(results), *seed, time.Since(started).Round(time.Millisecond))
-		if failed > 0 {
-			return fmt.Errorf("%d experiments failed", failed)
+		for _, rep := range reports {
+			fmt.Fprintf(os.Stderr, "%-4s %8.3fs\n", rep.ID, rep.Wall.Seconds())
+		}
+		emit("%d/%d experiments reproduced (seed %d)\n",
+			len(reports)-failed-errored, len(reports), *seed)
+		fmt.Fprintf(os.Stderr, "total wall %v (%d workers)\n",
+			time.Since(started).Round(time.Millisecond), *parallel)
+		if failed+errored > 0 {
+			return fmt.Errorf("%d experiments failed", failed+errored)
 		}
 		return nil
 	default:
 		fs.Usage()
-		return fmt.Errorf("specify -list, -run ID, or -all")
+		return fmt.Errorf("specify -list, -run ID, -all, or -seeds")
 	}
+}
+
+// parseSeeds accepts "A..B" (inclusive range, A <= B) or a comma list
+// ("1,2,5"). Duplicates are kept: a sweep runs exactly the seeds asked
+// for.
+func parseSeeds(s string) ([]uint64, error) {
+	if lo, hi, ok := strings.Cut(s, ".."); ok {
+		a, err := strconv.ParseUint(strings.TrimSpace(lo), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -seeds range start %q: %v", lo, err)
+		}
+		b, err := strconv.ParseUint(strings.TrimSpace(hi), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -seeds range end %q: %v", hi, err)
+		}
+		if b < a {
+			return nil, fmt.Errorf("bad -seeds range %s: end before start", s)
+		}
+		if b-a >= 1<<16 {
+			return nil, fmt.Errorf("-seeds range %s too large (max 65536 seeds)", s)
+		}
+		out := make([]uint64, 0, b-a+1)
+		for v := a; ; v++ {
+			out = append(out, v)
+			if v == b {
+				break
+			}
+		}
+		return out, nil
+	}
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -seeds entry %q: %v", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

@@ -2,6 +2,65 @@ package main
 
 import "testing"
 
+func TestParseSeeds(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []uint64
+		err  bool
+	}{
+		{in: "1..4", want: []uint64{1, 2, 3, 4}},
+		{in: "7..7", want: []uint64{7}},
+		{in: "3,1,3", want: []uint64{3, 1, 3}},
+		{in: " 5 , 6 ", want: []uint64{5, 6}},
+		{in: "4..2", err: true},
+		{in: "a..b", err: true},
+		{in: "1..999999999", err: true},
+		{in: "", err: true},
+		{in: "1,x", err: true},
+	}
+	for _, c := range cases {
+		got, err := parseSeeds(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("parseSeeds(%q) accepted, want error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseSeeds(%q): %v", c.in, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseSeeds(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("parseSeeds(%q) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestSeedSweepSingleExperiment(t *testing.T) {
+	if err := run([]string{"-run", "F3", "-seeds", "1..2", "-parallel", "2"}); err != nil {
+		t.Fatalf("sweep F3: %v", err)
+	}
+}
+
+func TestBadParallelValue(t *testing.T) {
+	if err := run([]string{"-all", "-parallel", "0"}); err == nil {
+		t.Fatal("-parallel 0 accepted")
+	}
+}
+
+func TestBadSeedsValue(t *testing.T) {
+	if err := run([]string{"-all", "-seeds", "9..1"}); err == nil {
+		t.Fatal("bad -seeds range accepted")
+	}
+}
+
 func TestListFlag(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
 		t.Fatalf("run -list: %v", err)

@@ -38,6 +38,36 @@ func TestSealOpenRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSealConsumesFixedRNGBytes(t *testing.T) {
+	// Key generation and sealing must draw a fixed number of bytes from
+	// the deterministic RNG. The old ecdh.GenerateKey(reader) path let
+	// crypto/internal/randutil.MaybeReadByte consume one extra byte at
+	// random (~50% of calls), silently desynchronizing every RNG draw
+	// after a sealing operation; 64 trials make a regression essentially
+	// certain to flip at least one value.
+	var wantAfterKey, wantAfterSeal uint64
+	for i := 0; i < 64; i++ {
+		r := sim.NewRNG(99)
+		kp, err := NewSealKeypair(r)
+		if err != nil {
+			t.Fatalf("NewSealKeypair: %v", err)
+		}
+		afterKey := r.Uint64()
+		if _, err := Seal(kp.Public, r, []byte("doc")); err != nil {
+			t.Fatalf("Seal: %v", err)
+		}
+		afterSeal := r.Uint64()
+		if i == 0 {
+			wantAfterKey, wantAfterSeal = afterKey, afterSeal
+			continue
+		}
+		if afterKey != wantAfterKey || afterSeal != wantAfterSeal {
+			t.Fatalf("trial %d: RNG stream shifted (key %d vs %d, seal %d vs %d)",
+				i, afterKey, wantAfterKey, afterSeal, wantAfterSeal)
+		}
+	}
+}
+
 func TestSealDifferentKeyCannotOpen(t *testing.T) {
 	k := testKernel()
 	kp1, _ := NewSealKeypair(k.RNG())

@@ -24,19 +24,19 @@ type SealKeypair struct {
 	private *ecdh.PrivateKey
 }
 
-// rngReader adapts the deterministic sim RNG to io.Reader for key
-// generation.
-type rngReader struct{ r *sim.RNG }
-
-func (rr rngReader) Read(p []byte) (int, error) {
-	copy(p, rr.r.Bytes(len(p)))
-	return len(p), nil
+// deterministicX25519Key derives a private key from exactly 32 RNG bytes.
+// ecdh.GenerateKey(reader) is deliberately avoided: Go's crypto internals
+// may read one extra byte from the reader at random (randutil.
+// MaybeReadByte), which silently shifts the deterministic RNG stream and
+// makes every draw after a sealing operation irreproducible.
+func deterministicX25519Key(rng *sim.RNG) (*ecdh.PrivateKey, error) {
+	return ecdh.X25519().NewPrivateKey(rng.Bytes(32))
 }
 
 // NewSealKeypair generates a coordinator key pair from the deterministic
-// RNG.
+// RNG, consuming a fixed number of RNG bytes.
 func NewSealKeypair(rng *sim.RNG) (*SealKeypair, error) {
-	priv, err := ecdh.X25519().GenerateKey(rngReader{rng})
+	priv, err := deterministicX25519Key(rng)
 	if err != nil {
 		return nil, fmt.Errorf("cnc: generate seal keypair: %w", err)
 	}
@@ -48,7 +48,7 @@ func NewSealKeypair(rng *sim.RNG) (*SealKeypair, error) {
 // (Confidentiality-only, as the real deployment's GPG-like sealing was;
 // integrity is not the property the paper discusses.)
 func Seal(pub *ecdh.PublicKey, rng *sim.RNG, plaintext []byte) ([]byte, error) {
-	eph, err := ecdh.X25519().GenerateKey(rngReader{rng})
+	eph, err := deterministicX25519Key(rng)
 	if err != nil {
 		return nil, fmt.Errorf("cnc: seal: %w", err)
 	}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The parallel experiment runner. Every experiment builds its own World —
+// its own kernel, RNG, internet, PKI and hosts — and never touches
+// another world's state, so experiments are embarrassingly parallel
+// across worker goroutines. The only shared data a worker reads is the
+// immutable Experiments registry and package-level constants. Reports
+// always come back in input order, so rendered output is byte-identical
+// no matter how many workers ran.
+
+// RunReport is the outcome of one experiment execution inside the
+// parallel runner.
+type RunReport struct {
+	ID     string
+	Seed   uint64
+	Result *Result // nil when Err != nil
+	Err    error
+	Wall   time.Duration
+}
+
+// runPool executes run(0..n-1) across at most workers goroutines.
+// workers <= 1 degenerates to a plain sequential loop on the caller's
+// goroutine.
+func runPool(n, workers int, run func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				run(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// runOne executes a single experiment, converting panics into errors so
+// one broken experiment can never truncate a sweep report.
+func runOne(id string, seed uint64) (rep RunReport) {
+	rep = RunReport{ID: id, Seed: seed}
+	runner, ok := Experiments[id]
+	if !ok {
+		rep.Err = fmt.Errorf("experiment %s: unknown ID", id)
+		return rep
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			rep.Result = nil
+			rep.Err = fmt.Errorf("experiment %s: panic: %v", id, r)
+		}
+	}()
+	started := time.Now()
+	rep.Result, rep.Err = runner(seed)
+	rep.Wall = time.Since(started)
+	if rep.Err != nil {
+		rep.Err = fmt.Errorf("experiment %s: %w", id, rep.Err)
+	}
+	return rep
+}
+
+// RunExperiments executes the given experiment IDs with one seed across a
+// pool of workers, returning reports in input order regardless of worker
+// count. Unknown IDs and experiment failures become per-report errors;
+// the remaining experiments still run.
+func RunExperiments(ids []string, seed uint64, workers int) []RunReport {
+	reports := make([]RunReport, len(ids))
+	runPool(len(ids), workers, func(i int) {
+		reports[i] = runOne(ids[i], seed)
+	})
+	return reports
+}
+
+// RunAllParallel executes every registered experiment with the same seed
+// across a pool of workers. Reports come back in report order.
+func RunAllParallel(seed uint64, workers int) []RunReport {
+	return RunExperiments(ExperimentIDs(), seed, workers)
+}
+
+// --- Multi-seed Monte Carlo sweep ---
+
+// MetricStat aggregates one metric across the seeds of a sweep.
+type MetricStat struct {
+	Name string
+	Unit string
+	Min  float64
+	Mean float64
+	Max  float64
+}
+
+// SweepEntry aggregates one experiment across every seed of a sweep.
+type SweepEntry struct {
+	ID      string
+	Title   string
+	Seeds   int           // runs attempted (one per seed)
+	Passes  int           // runs whose result reproduced
+	Errors  []error       // per-seed runner errors, seed order
+	Metrics []MetricStat  // first-seen metric order
+	Wall    time.Duration // summed wall clock across seeds
+}
+
+// SweepSeeds runs every (experiment, seed) pair across one worker pool
+// and aggregates per-metric min/mean/max across seeds. Entries come back
+// in the order of ids and the aggregation is deterministic regardless of
+// worker count, because per-pair reports land in a fixed slot before
+// anything is folded.
+func SweepSeeds(ids []string, seeds []uint64, workers int) []SweepEntry {
+	if len(ids) == 0 || len(seeds) == 0 {
+		return nil
+	}
+	reports := make([]RunReport, len(ids)*len(seeds))
+	runPool(len(reports), workers, func(i int) {
+		reports[i] = runOne(ids[i/len(seeds)], seeds[i%len(seeds)])
+	})
+
+	entries := make([]SweepEntry, len(ids))
+	for ei, id := range ids {
+		e := SweepEntry{ID: id}
+		var order []string
+		type agg struct {
+			unit          string
+			min, max, sum float64
+			n             int
+		}
+		stats := make(map[string]*agg)
+		for si := range seeds {
+			rep := reports[ei*len(seeds)+si]
+			e.Seeds++
+			e.Wall += rep.Wall
+			if rep.Err != nil {
+				e.Errors = append(e.Errors, rep.Err)
+				continue
+			}
+			if e.Title == "" {
+				e.Title = rep.Result.Title
+			}
+			if rep.Result.Pass {
+				e.Passes++
+			}
+			for _, m := range rep.Result.Metrics {
+				a, ok := stats[m.Name]
+				if !ok {
+					a = &agg{unit: m.Unit, min: m.Value, max: m.Value}
+					stats[m.Name] = a
+					order = append(order, m.Name)
+				}
+				if m.Value < a.min {
+					a.min = m.Value
+				}
+				if m.Value > a.max {
+					a.max = m.Value
+				}
+				a.sum += m.Value
+				a.n++
+			}
+		}
+		for _, name := range order {
+			a := stats[name]
+			e.Metrics = append(e.Metrics, MetricStat{
+				Name: name, Unit: a.unit,
+				Min: a.min, Mean: a.sum / float64(a.n), Max: a.max,
+			})
+		}
+		entries[ei] = e
+	}
+	return entries
+}
+
+// RenderSweep formats a sweep's aggregate table, mirroring Result.Render.
+func RenderSweep(entries []SweepEntry) string {
+	var b strings.Builder
+	for _, e := range entries {
+		title := e.Title
+		if title == "" {
+			title = "(no successful run)"
+		}
+		fmt.Fprintf(&b, "[%s] %s — %d/%d seeds reproduced\n", e.ID, title, e.Passes, e.Seeds)
+		for _, m := range e.Metrics {
+			unit := m.Unit
+			if unit != "" {
+				unit = " " + unit
+			}
+			fmt.Fprintf(&b, "  %-38s min %14.4g  mean %14.4g  max %14.4g%s\n",
+				m.Name, m.Min, m.Mean, m.Max, unit)
+		}
+		for _, err := range e.Errors {
+			fmt.Fprintf(&b, "  error: %v\n", err)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// JoinErrors folds every per-report error into one, or nil.
+func JoinErrors(reports []RunReport) error {
+	var errs []error
+	for _, rep := range reports {
+		if rep.Err != nil {
+			errs = append(errs, rep.Err)
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// raceIDs is the fast experiment subset the -race CI lane sweeps; heavy
+// fleet runs (C7) are covered by the short-guarded full-run test below.
+var raceIDs = []string{"F3", "C1", "C8"}
+
+func renderReports(t *testing.T, reports []RunReport) string {
+	t.Helper()
+	var b strings.Builder
+	for _, rep := range reports {
+		if rep.Err != nil {
+			t.Fatalf("%s (seed %d): %v", rep.ID, rep.Seed, rep.Err)
+		}
+		b.WriteString(rep.Result.Render())
+	}
+	return b.String()
+}
+
+func TestRunExperimentsParallelDeterminism(t *testing.T) {
+	ids := []string{"F2", "F3", "C1", "C6", "C8"}
+	want := renderReports(t, RunExperiments(ids, 1, 1))
+	if want == "" {
+		t.Fatal("empty sequential report")
+	}
+	for _, workers := range []int{4, 8} {
+		got := renderReports(t, RunExperiments(ids, 1, workers))
+		if got != want {
+			t.Fatalf("report with %d workers differs from sequential:\n--- got ---\n%s\n--- want ---\n%s", workers, got, want)
+		}
+	}
+}
+
+func TestRaceLaneParallelSweep(t *testing.T) {
+	// The -race lane target: worker pool + multi-seed sweep over the fast
+	// subset, enough concurrency to surface any shared mutable state
+	// between worlds.
+	seeds := []uint64{1, 2, 3}
+	want := SweepSeeds(raceIDs, seeds, 1)
+	got := SweepSeeds(raceIDs, seeds, 8)
+	if RenderSweep(got) != RenderSweep(want) {
+		t.Fatalf("sweep with 8 workers differs from sequential:\n--- got ---\n%s\n--- want ---\n%s",
+			RenderSweep(got), RenderSweep(want))
+	}
+	for _, e := range got {
+		if e.Seeds != len(seeds) || e.Passes != len(seeds) || len(e.Errors) != 0 {
+			t.Fatalf("%s: seeds=%d passes=%d errs=%d, want %d/%d/0", e.ID, e.Seeds, e.Passes, len(e.Errors), len(seeds), len(seeds))
+		}
+		if len(e.Metrics) == 0 {
+			t.Fatalf("%s: no aggregated metrics", e.ID)
+		}
+		for _, m := range e.Metrics {
+			if !(m.Min <= m.Mean && m.Mean <= m.Max) {
+				t.Fatalf("%s %s: min/mean/max out of order: %v/%v/%v", e.ID, m.Name, m.Min, m.Mean, m.Max)
+			}
+		}
+	}
+}
+
+func TestRunAllParallelMatchesSequentialFullRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 25-experiment double run skipped in -short mode")
+	}
+	results, err := RunAll(1) // the sequential baseline path
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(results) != len(ExperimentIDs()) {
+		t.Fatalf("RunAll results = %d, want %d", len(results), len(ExperimentIDs()))
+	}
+	var want strings.Builder
+	for _, res := range results {
+		want.WriteString(res.Render())
+	}
+	got := renderReports(t, RunAllParallel(1, 8))
+	if got != want.String() {
+		t.Fatal("full parallel report differs from sequential run")
+	}
+}
+
+func TestRunExperimentsCollectsErrorsAndKeepsRunning(t *testing.T) {
+	Experiments["ZZ-boom"] = func(seed uint64) (*Result, error) {
+		return nil, errors.New("synthetic failure")
+	}
+	Experiments["ZZ-panic"] = func(seed uint64) (*Result, error) {
+		panic("synthetic panic")
+	}
+	defer delete(Experiments, "ZZ-boom")
+	defer delete(Experiments, "ZZ-panic")
+
+	reports := RunExperiments([]string{"ZZ-boom", "ZZ-panic", "ZZ-unknown", "F3"}, 1, 2)
+	if len(reports) != 4 {
+		t.Fatalf("reports = %d, want 4", len(reports))
+	}
+	for i, wantErr := range []string{"synthetic failure", "panic", "unknown ID"} {
+		if reports[i].Err == nil || !strings.Contains(reports[i].Err.Error(), wantErr) {
+			t.Fatalf("report %d err = %v, want substring %q", i, reports[i].Err, wantErr)
+		}
+	}
+	last := reports[3]
+	if last.Err != nil || last.Result == nil || !last.Result.Pass {
+		t.Fatalf("F3 after failures: err=%v result=%v", last.Err, last.Result)
+	}
+	if err := JoinErrors(reports); err == nil || !strings.Contains(err.Error(), "ZZ-boom") {
+		t.Fatalf("JoinErrors = %v, want joined failures", err)
+	}
+}
+
+func TestSweepSeedsEmptyInputs(t *testing.T) {
+	if SweepSeeds(nil, []uint64{1}, 4) != nil {
+		t.Fatal("sweep of no experiments should be nil")
+	}
+	if SweepSeeds([]string{"F3"}, nil, 4) != nil {
+		t.Fatal("sweep of no seeds should be nil")
+	}
+}

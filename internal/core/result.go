@@ -117,15 +117,17 @@ func ExperimentIDs() []string {
 	}
 }
 
-// RunAll executes every experiment in order with the same seed.
+// RunAll executes every experiment in order with the same seed. A failing
+// experiment no longer truncates the run: every experiment executes, the
+// successful results come back in report order, and the returned error
+// joins every per-experiment failure.
 func RunAll(seed uint64) ([]*Result, error) {
+	reports := RunAllParallel(seed, 1)
 	var out []*Result
-	for _, id := range ExperimentIDs() {
-		res, err := Experiments[id](seed)
-		if err != nil {
-			return out, fmt.Errorf("experiment %s: %w", id, err)
+	for _, rep := range reports {
+		if rep.Err == nil {
+			out = append(out, rep.Result)
 		}
-		out = append(out, res)
 	}
-	return out, nil
+	return out, JoinErrors(reports)
 }

@@ -41,6 +41,14 @@ type LAN struct {
 	nodes  map[string]*Node // by lower-cased host name
 	nextIP int
 	subnet string
+
+	// Sorted-view caches, rebuilt lazily and invalidated by Attach. The
+	// spread sweeps of a 30,000-host fleet call Peers once per infected
+	// host per round; re-sorting the node map every time dominated the
+	// profile.
+	sortedHosts []*host.Host
+	sortedNames []string
+	peersBuf    []*host.Host
 }
 
 // NewLAN creates a LAN. uplink may be nil for air-gapped segments.
@@ -59,6 +67,7 @@ func (l *LAN) Attach(h *host.Host) *Node {
 	l.nextIP++
 	n := &Node{Host: h, IP: IP(fmt.Sprintf("%s.%d", l.subnet, l.nextIP))}
 	l.nodes[strings.ToLower(h.Name)] = n
+	l.sortedHosts, l.sortedNames = nil, nil
 	return n
 }
 
@@ -70,25 +79,39 @@ func (l *LAN) Node(name string) *Node {
 // HostCount returns the number of attached hosts.
 func (l *LAN) HostCount() int { return len(l.nodes) }
 
-// Hosts returns all attached hosts sorted by name.
-func (l *LAN) Hosts() []*host.Host {
-	out := make([]*host.Host, 0, len(l.nodes))
-	for _, n := range l.nodes {
-		out = append(out, n.Host)
+// hostsSorted returns the cached name-sorted host slice, rebuilding it
+// after an Attach. Callers must not mutate or retain the result.
+func (l *LAN) hostsSorted() []*host.Host {
+	if l.sortedHosts == nil {
+		l.sortedHosts = make([]*host.Host, 0, len(l.nodes))
+		for _, n := range l.nodes {
+			l.sortedHosts = append(l.sortedHosts, n.Host)
+		}
+		sort.Slice(l.sortedHosts, func(i, j int) bool {
+			return l.sortedHosts[i].Name < l.sortedHosts[j].Name
+		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+	return l.sortedHosts
 }
 
-// Peers returns all attached hosts except the named one, sorted.
+// Hosts returns all attached hosts sorted by name. The slice is the
+// caller's to keep.
+func (l *LAN) Hosts() []*host.Host {
+	return append([]*host.Host(nil), l.hostsSorted()...)
+}
+
+// Peers returns all attached hosts except the named one, sorted by name.
+// The returned slice is a scratch buffer owned by the LAN and reused by
+// the next Peers call: iterate it immediately, do not retain it across
+// Peers or Attach calls.
 func (l *LAN) Peers(name string) []*host.Host {
-	var out []*host.Host
-	for _, h := range l.Hosts() {
+	l.peersBuf = l.peersBuf[:0]
+	for _, h := range l.hostsSorted() {
 		if !strings.EqualFold(h.Name, name) {
-			out = append(out, h)
+			l.peersBuf = append(l.peersBuf, h)
 		}
 	}
-	return out
+	return l.peersBuf
 }
 
 // --- HTTP through the LAN (honouring proxy settings) ---
@@ -166,12 +189,14 @@ func (l *LAN) ARPPoison(attacker *host.Host, victim string) error {
 }
 
 func (l *LAN) sortedNodeNames() []string {
-	out := make([]string, 0, len(l.nodes))
-	for name := range l.nodes {
-		out = append(out, name)
+	if l.sortedNames == nil {
+		l.sortedNames = make([]string, 0, len(l.nodes))
+		for name := range l.nodes {
+			l.sortedNames = append(l.sortedNames, name)
+		}
+		sort.Strings(l.sortedNames)
 	}
-	sort.Strings(out)
-	return out
+	return l.sortedNames
 }
 
 // --- SMB file & print sharing ---

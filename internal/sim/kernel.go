@@ -153,24 +153,32 @@ func (k *Kernel) ScheduleAt(t time.Time, name string, fn func()) *Event {
 }
 
 // Every schedules fn to run repeatedly with the given period, starting one
-// period from now, until the returned cancel function is called.
+// period from now, until the returned cancel function is called. Cancelling
+// also removes the already-scheduled next tick from the queue, so Pending
+// drops immediately and Drain never burns steps on dead ticks.
 func (k *Kernel) Every(period time.Duration, name string, fn func()) (cancel func()) {
 	if period <= 0 {
 		panic(fmt.Sprintf("sim: Every with non-positive period %v", period))
 	}
 	stopped := false
+	var pending *Event
 	var tick func()
 	tick = func() {
+		pending = nil
 		if stopped {
 			return
 		}
 		fn()
 		if !stopped {
-			k.Schedule(period, name, tick)
+			pending = k.Schedule(period, name, tick)
 		}
 	}
-	k.Schedule(period, name, tick)
-	return func() { stopped = true }
+	pending = k.Schedule(period, name, tick)
+	return func() {
+		stopped = true
+		k.Cancel(pending)
+		pending = nil
+	}
 }
 
 // Cancel removes a previously scheduled event. Cancelling an event that has
@@ -184,6 +192,10 @@ func (k *Kernel) Cancel(ev *Event) {
 }
 
 // Stop halts the current Run call after the in-flight event completes.
+// When no run is active, the stop is latched: the next RunUntil/RunFor/
+// Drain call aborts immediately without executing any event. Each run
+// consumes the latch on exit, so a stopped run never poisons the one
+// after it.
 func (k *Kernel) Stop() { k.stopped = true }
 
 // Step executes the next pending event, advancing the clock to its
@@ -203,7 +215,6 @@ func (k *Kernel) Step() bool {
 // or the next event would fire after deadline. The clock is advanced to
 // deadline when the run completes normally with time left.
 func (k *Kernel) RunUntil(deadline time.Time) error {
-	k.stopped = false
 	for !k.stopped {
 		if len(k.queue) == 0 {
 			break
@@ -214,6 +225,7 @@ func (k *Kernel) RunUntil(deadline time.Time) error {
 		k.Step()
 	}
 	if k.stopped {
+		k.stopped = false
 		return ErrStopped
 	}
 	if k.now.Before(deadline) {
@@ -231,7 +243,6 @@ func (k *Kernel) RunFor(d time.Duration) error {
 // run. It returns the number of events executed. Use a sensible maxSteps to
 // guard against self-perpetuating schedules (periodic timers).
 func (k *Kernel) Drain(maxSteps uint64) uint64 {
-	k.stopped = false
 	var n uint64
 	for n < maxSteps && !k.stopped {
 		if !k.Step() {
@@ -239,5 +250,6 @@ func (k *Kernel) Drain(maxSteps uint64) uint64 {
 		}
 		n++
 	}
+	k.stopped = false
 	return n
 }

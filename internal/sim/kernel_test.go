@@ -127,6 +127,43 @@ func TestEvery(t *testing.T) {
 	}
 }
 
+func TestEveryCancelRemovesPendingTick(t *testing.T) {
+	k := NewKernel()
+	cancel := k.Every(time.Minute, "tick", func() {})
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", k.Pending())
+	}
+	cancel()
+	if k.Pending() != 0 {
+		t.Fatalf("pending after cancel = %d, want 0 (dead tick left in queue)", k.Pending())
+	}
+	if n := k.Drain(10); n != 0 {
+		t.Fatalf("Drain burned %d steps on a cancelled timer, want 0", n)
+	}
+	cancel() // double-cancel must be safe
+}
+
+func TestEveryCancelInsideTickLeavesQueueEmpty(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	var cancel func()
+	cancel = k.Every(time.Minute, "tick", func() {
+		n++
+		if n == 2 {
+			cancel()
+		}
+	})
+	if err := k.RunFor(time.Hour); err != nil {
+		t.Fatalf("RunFor: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("ticks = %d, want 2", n)
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", k.Pending())
+	}
+}
+
 func TestEveryCancelFromWithinTick(t *testing.T) {
 	k := NewKernel()
 	n := 0
@@ -160,6 +197,59 @@ func TestStopInterruptsRun(t *testing.T) {
 	}
 	if n != 2 {
 		t.Fatalf("ticks = %d, want 2", n)
+	}
+}
+
+func TestStopBeforeRunAbortsNextRun(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	k.Schedule(time.Second, "e", func() { fired = true })
+	k.Stop()
+	if err := k.RunFor(time.Hour); err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped (pre-run Stop was erased)", err)
+	}
+	if fired {
+		t.Fatal("event fired despite pre-run Stop")
+	}
+	// The latch is consumed: the following run proceeds normally.
+	if err := k.RunFor(time.Hour); err != nil {
+		t.Fatalf("second RunFor: %v", err)
+	}
+	if !fired {
+		t.Fatal("event did not fire after the latch was consumed")
+	}
+}
+
+func TestStopLatchConsumedByInterruptedRun(t *testing.T) {
+	k := NewKernel()
+	n := 0
+	k.Every(time.Minute, "tick", func() {
+		n++
+		if n == 2 {
+			k.Stop()
+		}
+	})
+	if err := k.RunFor(time.Hour); err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	// A stopped run must not poison the next one.
+	if err := k.RunFor(time.Hour); err != nil {
+		t.Fatalf("run after stop: %v", err)
+	}
+	if n <= 2 {
+		t.Fatalf("ticks = %d, want > 2 after resuming", n)
+	}
+}
+
+func TestStopBeforeDrain(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(time.Second, "e", func() {})
+	k.Stop()
+	if n := k.Drain(10); n != 0 {
+		t.Fatalf("Drain after pre-Stop executed %d events, want 0", n)
+	}
+	if n := k.Drain(10); n != 1 {
+		t.Fatalf("Drain after consumed latch executed %d events, want 1", n)
 	}
 }
 
