@@ -23,4 +23,15 @@ go test ./...
 go test -race -run 'Parallel|Sweep|RaceLane' ./internal/core
 go test -race ./internal/sim ./internal/netsim ./internal/cnc
 
+# Docs drift gate: EXPERIMENTS.md is a build artefact of `cyberlab -report`.
+# Regenerate from a live run and fail if the committed copy differs.
+tmp_report=$(mktemp)
+trap 'rm -f "$tmp_report"' EXIT
+go run ./cmd/cyberlab -report -o "$tmp_report" >/dev/null
+if ! diff -u EXPERIMENTS.md "$tmp_report"; then
+    echo "EXPERIMENTS.md drifted from the code; regenerate with:" >&2
+    echo "  go run ./cmd/cyberlab -report -o EXPERIMENTS.md" >&2
+    exit 1
+fi
+
 echo "ci: all gates passed"

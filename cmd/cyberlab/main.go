@@ -1,23 +1,31 @@
 // Command cyberlab runs the paper-reproduction experiments: every figure
 // (F1–F6), every quantitative claim (C1–C11), the Section-V trend
-// taxonomy (T1) and the ablations (A1, A2). See DESIGN.md for the index.
+// taxonomy (T1), the ablations (A1–A3) and the extensions (E1–E4). See
+// DESIGN.md for the index.
 //
 // Usage:
 //
 //	cyberlab -list
 //	cyberlab -run F1 [-seed 7]
-//	cyberlab -all [-parallel 8]
+//	cyberlab -run F2,F3,C1 [-parallel 2]
+//	cyberlab -all [-parallel 8] [-trace t.jsonl] [-metrics m.json]
 //	cyberlab -all -seeds 1..16 [-parallel 8]
+//	cyberlab -report [-o EXPERIMENTS.md]
 //
-// -parallel fans experiments out across a worker pool; the report is
-// byte-identical to a sequential run because each experiment owns an
-// independent world and results are emitted in report order. Per-
-// experiment wall-clock timings go to stderr so the report itself stays
-// deterministic. -seeds switches to a Monte Carlo sweep that aggregates
-// per-metric min/mean/max across seeds.
+// -parallel fans experiments out across a worker pool; the report, trace
+// and metrics outputs are byte-identical to a sequential run because each
+// experiment owns an independent world and results are emitted in report
+// order. Per-experiment wall-clock timings go to stderr so the report
+// itself stays deterministic. -seeds switches to a Monte Carlo sweep that
+// aggregates per-metric min/mean/max across seeds. -trace writes the
+// experiments' retained event records as JSONL (one object per line, each
+// tagged exp=<ID>); -metrics writes the merged obs snapshot as JSON.
+// -report renders EXPERIMENTS.md from the live run, making the committed
+// document a reproducible build artefact (ci.sh fails on drift).
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -38,13 +47,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("cyberlab", flag.ContinueOnError)
 	var (
-		list     = fs.Bool("list", false, "list experiment IDs and exit")
-		id       = fs.String("run", "", "run a single experiment by ID (e.g. F1)")
-		all      = fs.Bool("all", false, "run every experiment")
-		seed     = fs.Uint64("seed", 1, "deterministic simulation seed")
-		seeds    = fs.String("seeds", "", "seed sweep: A..B (inclusive) or comma list; aggregates min/mean/max per metric")
-		parallel = fs.Int("parallel", 1, "worker goroutines for -all and -seeds")
-		out      = fs.String("o", "", "also write the report to this file")
+		list       = fs.Bool("list", false, "list experiment IDs and exit")
+		id         = fs.String("run", "", "run experiments by ID, comma-separated (e.g. F1 or F2,C1)")
+		all        = fs.Bool("all", false, "run every experiment")
+		genReport  = fs.Bool("report", false, "run every experiment and render EXPERIMENTS.md markdown")
+		seed       = fs.Uint64("seed", 1, "deterministic simulation seed")
+		seeds      = fs.String("seeds", "", "seed sweep: A..B (inclusive) or comma list; aggregates min/mean/max per metric")
+		parallel   = fs.Int("parallel", 1, "worker goroutines for -all, -run lists and -seeds")
+		out        = fs.String("o", "", "also write the report to this file")
+		traceOut   = fs.String("trace", "", "write retained trace events to this file as JSONL")
+		metricsOut = fs.String("metrics", "", "write the merged metrics snapshot to this file as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,12 +84,15 @@ func run(args []string) error {
 		}
 		return nil
 	case *seeds != "":
+		if *traceOut != "" {
+			return fmt.Errorf("-trace needs per-run events, which a -seeds sweep discards; use a single-seed run")
+		}
 		ids := core.ExperimentIDs()
 		if *id != "" {
-			if core.Experiments[*id] == nil {
-				return fmt.Errorf("unknown experiment %q (try -list)", *id)
+			var err error
+			if ids, err = parseIDs(*id); err != nil {
+				return err
 			}
-			ids = []string{*id}
 		}
 		seedList, err := parseSeeds(*seeds)
 		if err != nil {
@@ -87,66 +102,155 @@ func run(args []string) error {
 		entries := core.SweepSeeds(ids, seedList, *parallel)
 		emit("%s", core.RenderSweep(entries))
 		passes, runs, errored := 0, 0, 0
+		var merged obs.Snapshot
 		for _, e := range entries {
 			passes += e.Passes
 			runs += e.Seeds
 			errored += len(e.Errors)
+			merged.Merge(e.Obs)
 			fmt.Fprintf(os.Stderr, "%-4s %8.3fs across %d seeds\n", e.ID, e.Wall.Seconds(), e.Seeds)
 		}
 		emit("%d/%d sweep runs reproduced (%d experiments x %d seeds)\n",
 			passes, runs, len(ids), len(seedList))
 		fmt.Fprintf(os.Stderr, "sweep wall %v (%d workers)\n",
 			time.Since(started).Round(time.Millisecond), *parallel)
+		if err := writeMetrics(*metricsOut, merged); err != nil {
+			return err
+		}
 		if passes != runs {
 			return fmt.Errorf("%d sweep runs failed (%d runner errors)", runs-passes, errored)
 		}
 		return nil
-	case *id != "":
-		runner, ok := core.Experiments[*id]
-		if !ok {
-			return fmt.Errorf("unknown experiment %q (try -list)", *id)
-		}
-		started := time.Now()
-		res, err := runner(*seed)
-		if err != nil {
-			return err
-		}
-		emit("%s", res.Render())
-		fmt.Fprintf(os.Stderr, "%-4s %8.3fs\n", *id, time.Since(started).Seconds())
-		if !res.Pass {
-			return fmt.Errorf("experiment %s did not reproduce", *id)
-		}
-		return nil
-	case *all:
+	case *genReport:
 		started := time.Now()
 		reports := core.RunAllParallel(*seed, *parallel)
-		failed, errored := 0, 0
+		emit("%s", core.RenderExperimentsMarkdown(reports, *seed))
+		for _, rep := range reports {
+			fmt.Fprintf(os.Stderr, "%-4s %8.3fs\n", rep.ID, rep.Wall.Seconds())
+		}
+		fmt.Fprintf(os.Stderr, "report wall %v (%d workers)\n",
+			time.Since(started).Round(time.Millisecond), *parallel)
+		if err := writeObsOutputs(*traceOut, *metricsOut, reports); err != nil {
+			return err
+		}
+		return reportErr(reports)
+	case *id != "" || *all:
+		ids := core.ExperimentIDs()
+		if *id != "" {
+			var err error
+			if ids, err = parseIDs(*id); err != nil {
+				return err
+			}
+		}
+		started := time.Now()
+		reports := core.RunExperiments(ids, *seed, *parallel)
 		for _, rep := range reports {
 			if rep.Err != nil {
-				errored++
 				emit("%v\n\n", rep.Err)
 				continue
 			}
 			emit("%s\n", rep.Result.Render())
-			if !rep.Result.Pass {
-				failed++
-			}
 		}
 		for _, rep := range reports {
 			fmt.Fprintf(os.Stderr, "%-4s %8.3fs\n", rep.ID, rep.Wall.Seconds())
 		}
+		failed, errored := tally(reports)
 		emit("%d/%d experiments reproduced (seed %d)\n",
 			len(reports)-failed-errored, len(reports), *seed)
 		fmt.Fprintf(os.Stderr, "total wall %v (%d workers)\n",
 			time.Since(started).Round(time.Millisecond), *parallel)
-		if failed+errored > 0 {
-			return fmt.Errorf("%d experiments failed", failed+errored)
+		if err := writeObsOutputs(*traceOut, *metricsOut, reports); err != nil {
+			return err
 		}
-		return nil
+		return reportErr(reports)
 	default:
 		fs.Usage()
-		return fmt.Errorf("specify -list, -run ID, -all, or -seeds")
+		return fmt.Errorf("specify -list, -run ID, -all, -report, or -seeds")
 	}
+}
+
+// parseIDs splits a comma-separated -run value and validates every ID.
+func parseIDs(s string) ([]string, error) {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		eid := strings.TrimSpace(part)
+		if eid == "" {
+			continue
+		}
+		if core.Experiments[eid] == nil {
+			return nil, fmt.Errorf("unknown experiment %q (try -list)", eid)
+		}
+		out = append(out, eid)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-run got no experiment IDs")
+	}
+	return out, nil
+}
+
+func tally(reports []core.RunReport) (failed, errored int) {
+	for _, rep := range reports {
+		switch {
+		case rep.Err != nil:
+			errored++
+		case !rep.Result.Pass:
+			failed++
+		}
+	}
+	return failed, errored
+}
+
+func reportErr(reports []core.RunReport) error {
+	if failed, errored := tally(reports); failed+errored > 0 {
+		return fmt.Errorf("%d experiments failed", failed+errored)
+	}
+	return nil
+}
+
+// writeObsOutputs writes the optional -trace and -metrics artefacts from
+// a single-seed run. Both walk reports in report order, so the bytes do
+// not depend on the worker count.
+func writeObsOutputs(tracePath, metricsPath string, reports []core.RunReport) error {
+	if tracePath != "" {
+		var buf bytes.Buffer
+		for _, rep := range reports {
+			if rep.Result == nil {
+				continue
+			}
+			if err := obs.WriteJSONL(&buf, rep.Result.Events); err != nil {
+				return fmt.Errorf("render trace: %w", err)
+			}
+		}
+		if err := os.WriteFile(tracePath, buf.Bytes(), 0o644); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+	}
+	if metricsPath != "" {
+		var merged obs.Snapshot
+		for _, rep := range reports {
+			if rep.Result != nil {
+				merged.Merge(rep.Result.Obs)
+			}
+		}
+		if err := writeMetrics(metricsPath, merged); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeMetrics(path string, snap obs.Snapshot) error {
+	if path == "" {
+		return nil
+	}
+	data, err := snap.JSON()
+	if err != nil {
+		return fmt.Errorf("render metrics: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write metrics: %w", err)
+	}
+	return nil
 }
 
 // parseSeeds accepts "A..B" (inclusive range, A <= B) or a comma list

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -143,7 +144,10 @@ func (s *Server) serveClient(req *netsim.Request) *netsim.Response {
 	switch req.Query["cmd"] {
 	case CmdGetNews:
 		pkgs := s.takePackages(clientID)
-		s.K.Trace().Add(s.K.Now(), sim.CatC2, string(s.IP), "GET_NEWS %s -> %d packages", clientID, len(pkgs))
+		s.K.Metrics().Counter("cnc.news.serve").Inc()
+		s.K.Trace().Emit(s.K.Now(), sim.CatC2, string(s.IP),
+			fmt.Sprintf("GET_NEWS %s -> %d packages", clientID, len(pkgs)),
+			obs.T("client", clientID), obs.Ti("packages", int64(len(pkgs))))
 		return netsim.OK(encodePackages(pkgs))
 	case CmdAddEntry:
 		name := req.Query["name"]
@@ -153,7 +157,11 @@ func (s *Server) serveClient(req *netsim.Request) *netsim.Response {
 			Sealed: append([]byte(nil), req.Body...), At: s.K.Now(),
 		})
 		s.TotalEntryBytes += int64(len(req.Body))
-		s.K.Trace().Add(s.K.Now(), sim.CatExfil, string(s.IP), "ADD_ENTRY %s %q (%d bytes)", clientID, name, len(req.Body))
+		s.K.Metrics().Counter("cnc.entry.add").Inc()
+		s.K.Metrics().Histogram("cnc.entry.bytes", obs.ByteBuckets).Observe(float64(len(req.Body)))
+		s.K.Trace().Emit(s.K.Now(), sim.CatExfil, string(s.IP),
+			fmt.Sprintf("ADD_ENTRY %s %q (%d bytes)", clientID, name, len(req.Body)),
+			obs.T("client", clientID), obs.T("entry", name), obs.Ti("bytes", int64(len(req.Body))))
 		return netsim.OK([]byte("OK"))
 	default:
 		return &netsim.Response{Status: 400}

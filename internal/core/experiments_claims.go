@@ -11,6 +11,7 @@ import (
 	"repro/internal/malware/stuxnet"
 	"repro/internal/netsim"
 	"repro/internal/plc"
+	"repro/internal/sim"
 	"repro/internal/usb"
 )
 
@@ -71,6 +72,9 @@ func RunC1ZeroDays(seed uint64) (*Result, error) {
 	}
 	res.metric("fully_patched_host_resisted", boolMetric(!sc.Stuxnet.Infected("HARDENED")), "bool")
 	res.Pass = len(zd) == 4 && a != nil && !sc.Stuxnet.Infected("HARDENED")
+	res.summaryf("all %d zero-days fired (%s); %d hosts infected; fully patched host resisted every vector",
+		len(zd), strings.Join(zd, ", "), sc.Stuxnet.InfectedCount())
+	res.CaptureObs(w.K)
 	return res, nil
 }
 
@@ -130,6 +134,9 @@ func RunC2Centrifuge(seed uint64) (*Result, error) {
 	res.metric("attack_low_hz", plc.AttackLowHz, "Hz")
 	res.Pass = controlDestroyed == 0 && controlStress == 0 &&
 		sc.Plant.DestroyedCount() > 0 && blind
+	res.summaryf("control week: 0 destroyed, 0 stress; attack destroyed %d machines in %d wave(s) with monitors blind",
+		sc.Plant.DestroyedCount(), sc.Stuxnet.Stats.AttacksLaunched)
+	res.CaptureObs(w.K)
 	return res, nil
 }
 
@@ -152,6 +159,7 @@ func RunC3Targeting(seed uint64) (*Result, error) {
 		Paper: "triggers only on Profibus CP; damaging payload only with the two frequency-converter vendors",
 	}
 	pass := true
+	matchDestroyed := 0
 	for i, v := range variants {
 		w, err := NewWorld(WorldConfig{Seed: seed + uint64(i)})
 		if err != nil {
@@ -175,14 +183,18 @@ func RunC3Targeting(seed uint64) (*Result, error) {
 		res.metric(v.name+"_payload_armed", boolMetric(sc.Stuxnet.Stats.PayloadArmed), "bool")
 		switch v.name {
 		case "natanz-match":
+			matchDestroyed = destroyed
 			pass = pass && destroyed > 0 && sc.Stuxnet.Stats.PayloadArmed
 		default:
 			pass = pass && destroyed == 0 && !sc.Stuxnet.Stats.PayloadArmed
 		}
 		sc.Plant.Stop()
+		res.CaptureObs(w.K)
 	}
 	res.Pass = pass
 	res.notef("only the matching plant is damaged; others stay dormant or untouched")
+	res.summaryf("matching plant armed and lost %d machines; wrong-vendor and no-Profibus variants stayed dormant with 0 destroyed",
+		matchDestroyed)
 	return res, nil
 }
 
@@ -219,6 +231,10 @@ func RunC4FlameSize(seed uint64) (*Result, error) {
 	res.metric("growth_ratio", float64(full)/float64(bare), "x")
 	res.metric("modules_installed", float64(sc.Flame.Agent(sc.Patient0.Name).InstalledCount()), "modules")
 	res.Pass = bare > 700*1024 && bare < 1200*1024 && full > 15<<20 && full < 25<<20
+	res.summaryf("%d KB bare-bones grew to %.1f MB (%0.1fx) after %d modules arrived over C&C",
+		bare/1024, float64(full)/(1<<20), float64(full)/float64(bare),
+		sc.Flame.Agent(sc.Patient0.Name).InstalledCount())
+	res.CaptureObs(w.K)
 	return res, nil
 }
 
@@ -284,6 +300,9 @@ func RunC5ExfilVolume(seed uint64) (*Result, error) {
 	res.metric("audio_captures", float64(sc.Flame.Stats.AudioCaptures), "clips")
 	res.Pass = total > 20<<20 && sc.Flame.Stats.DocumentsStolen > 100
 	res.notef("synthetic corpus is smaller than a real ministry's; the shape — continuous two-stage exfil — is what reproduces")
+	res.summaryf("%.1f MB landed on the servers in one simulated week (%d documents, %d audio clips); continuous two-stage shape reproduced",
+		float64(total)/(1<<20), sc.Flame.Stats.DocumentsStolen, sc.Flame.Stats.AudioCaptures)
+	res.CaptureObs(w.K)
 	return res, nil
 }
 
@@ -333,6 +352,9 @@ func RunC6Suicide(seed uint64) (*Result, error) {
 	res.metric("live_agents_after", float64(sc.Flame.InfectedCount()), "agents")
 	res.metric("suicides_completed", float64(sc.Flame.Stats.SuicidesCompleted), "hosts")
 	res.Pass = infectedBefore == 5 && artefactsBefore > 0 && artefactsAfter == 0 && sc.Flame.InfectedCount() == 0
+	res.summaryf("%d artefacts across %d infected hosts dropped to %d after the broadcast; 0 live agents remain",
+		artefactsBefore, infectedBefore, artefactsAfter)
+	res.CaptureObs(w.K)
 	return res, nil
 }
 
@@ -384,6 +406,9 @@ func runAramcoScale(seed uint64, fleet int) (*Result, error) {
 	}
 	res.metric("wiped_before_trigger", float64(wipedBefore), "hosts")
 	res.Pass = sc.Shamoon.InfectedCount() == fleet && sc.WipedCount() == fleet && wipedBefore == 0
+	res.summaryf("%d/%d workstations infected and left unbootable; 0 wiped before the hardcoded trigger instant",
+		sc.WipedCount(), fleet)
+	res.CaptureObs(w.K)
 	return res, nil
 }
 
@@ -391,11 +416,13 @@ func runAramcoScale(seed uint64, fleet int) (*Result, error) {
 // the small upper fragment of the JPEG, against the intended full
 // overwrite (the ablation).
 func RunC8JPEGBug(seed uint64) (*Result, error) {
+	var kernels []*sim.Kernel
 	run := func(bug bool) (fragBytes float64, fullOverwrite bool, err error) {
 		w, err := NewWorld(WorldConfig{Seed: seed, Start: shamoon.AramcoTrigger.Add(-2 * time.Hour)})
 		if err != nil {
 			return 0, false, err
 		}
+		kernels = append(kernels, w.K)
 		b := bug
 		sc, err := BuildAramco(w, AramcoOptions{Workstations: 1, DocsPerHost: 20, JPEGBug: &b})
 		if err != nil {
@@ -435,6 +462,9 @@ func RunC8JPEGBug(seed uint64) (*Result, error) {
 	res.metric("fixed_preserves_file_size", boolMetric(!fixedFull || fixedFrag < 0), "bool")
 	res.Pass = buggyFrag == shamoon.JPEGFragmentLen && !buggyFull
 	res.notef("buggy wiper leaves every file exactly %d bytes; correct wiper spans original sizes", shamoon.JPEGFragmentLen)
+	res.summaryf("buggy wiper left every file exactly %.0f bytes (the JPEG fragment); corrected wiper preserves original sizes",
+		buggyFrag)
+	res.CaptureObs(kernels...)
 	return res, nil
 }
 
@@ -469,6 +499,9 @@ func RunC9Reporter(seed uint64) (*Result, error) {
 	}
 	res.metric("all_reports_carry_four_fields", boolMetric(ok && fieldsOK), "bool")
 	res.Pass = ok && fieldsOK
+	res.summaryf("%d reports received, each a GET carrying domain, overwrite count, IP, and the f1.inf list",
+		len(sc.Reports))
+	res.CaptureObs(w.K)
 	return res, nil
 }
 
@@ -522,6 +555,9 @@ func RunC10AirGap(seed uint64) (*Result, error) {
 	res.metric("documents_reaching_center", float64(decrypted), "docs")
 	res.metric("ferried_total", float64(sc.Flame.Stats.AirGapDocsFerried), "docs")
 	res.Pass = parked > 0 && sc.Flame.Stats.AirGapDocsFerried == parked && decrypted >= parked
+	res.summaryf("%d documents parked in the stick's hidden database, all %d ferried out and decrypted at the center",
+		parked, sc.Flame.Stats.AirGapDocsFerried)
+	res.CaptureObs(w.K)
 	return res, nil
 }
 
@@ -576,5 +612,8 @@ func RunC11Bluetooth(seed uint64) (*Result, error) {
 	res.metric("infected_host_beaconing", boolMetric(w.Radio.IsBeaconing(sc.Patient0)), "bool")
 	res.metric("distinct_device_sightings", float64(len(inventoried)), "records")
 	res.Pass = sc.Flame.Stats.BluetoothScans > 0 && w.Radio.IsBeaconing(sc.Patient0) && len(inventoried) >= 4
+	res.summaryf("%d bluetooth scans inventoried %d distinct nearby devices; infected machine beacons as discoverable",
+		sc.Flame.Stats.BluetoothScans, len(inventoried))
+	res.CaptureObs(w.K)
 	return res, nil
 }

@@ -119,6 +119,9 @@ func RunE1DuquTargeting(seed uint64) (*Result, error) {
 	res.Pass = d.Stats.TargetsInfected == 3 && d.Stats.NonTargetsRefused == 7 &&
 		len(digests) == 3 && len(uploads) > 0 && wrappedOK && sealedOK &&
 		artefacts == 0 && d.Stats.SelfRemovals == 3
+	res.summaryf("%d/%d listed targets infected (%d refusals), %d distinct per-victim builds, %d JPEG-wrapped sealed uploads, 0 artefacts after lifetime",
+		d.Stats.TargetsInfected, len(targets), d.Stats.NonTargetsRefused, len(digests), len(uploads))
+	res.CaptureObs(w.K)
 	return res, nil
 }
 
@@ -216,5 +219,8 @@ func RunE2GaussGodel(seed uint64) (*Result, error) {
 	res.Pass = g.InfectedCount() == 6 && g.Stats.BankMatches >= 6 && bankDocs >= 6 &&
 		g.Stats.GodelDetonations == 1 && len(godelHosts) == 1 && godelHosts[0] == "BANK-PC-3" &&
 		flagged && opaque && dictionaryFails
+	res.summaryf("%d hosts infected, %d banking credentials matched, Godel detonated on exactly %d keyed host and stayed opaque to the analyst",
+		g.InfectedCount(), g.Stats.BankMatches, g.Stats.GodelDetonations)
+	res.CaptureObs(w.K)
 	return res, nil
 }

@@ -65,6 +65,9 @@ func RunF1StuxnetOperation(seed uint64) (*Result, error) {
 	res.Pass = sc.Stuxnet.InfectedCount() >= 1 && stats.ProjectsInfected >= 1 &&
 		stats.PLCCompromised && sc.Plant.DestroyedCount() > 0 && operatorBlind && dllSwapped
 	res.notef("engineer workstation infected via crafted LNK, project open deployed the PLC payload")
+	res.summaryf("%d Windows hosts, %d Step 7 project(s), dll swapped, %d centrifuges destroyed over %d wave(s); operator display stayed normal",
+		sc.Stuxnet.InfectedCount(), stats.ProjectsInfected, sc.Plant.DestroyedCount(), stats.AttacksLaunched)
+	res.CaptureObs(w.K)
 	return res, nil
 }
 
@@ -110,6 +113,9 @@ func RunF2WPADMitm(seed uint64) (*Result, error) {
 	res.metric("total_flame_agents", float64(sc.Flame.InfectedCount()), "hosts")
 	res.Pass = proxied == len(sc.Hosts)-1 && infectedViaUpdate == len(sc.Hosts)-1
 	res.notef("fake update signed by %q chain validated on unpatched victims", "SimSoft Windows Update")
+	res.summaryf("%d/%d victims adopted the infected proxy via WPAD and installed Flame from the forged update",
+		infectedViaUpdate, len(sc.Hosts)-1)
+	res.CaptureObs(w.K)
 	return res, nil
 }
 
@@ -161,6 +167,9 @@ func RunF3CertForging(seed uint64) (*Result, error) {
 	res.metric("post_advisory_rejected", boolMetric(postAdvisoryRejected), "bool")
 	res.metric("weak_hash_bits", float64(pki.WeakHashBits), "bits")
 	res.Pass = licenseRejected && collide && forgedAccepted && imageAccepted && postAdvisoryRejected
+	res.summaryf("licensing cert rejected for code; %d-bit weak-hash collision yields an accepted forged chain; advisory distrust kills it",
+		pki.WeakHashBits)
+	res.CaptureObs(w.K)
 	return res, nil
 }
 
@@ -221,6 +230,9 @@ func RunF4CnCPlatform(seed uint64) (*Result, error) {
 		domainsAfter == cnc.PostContactDomains &&
 		clientsSeen >= len(sc.Hosts) &&
 		deAtCount == cnc.DefaultDomainCount
+	res.summaryf("%d domains over %d server IPs; agents grew from %d to %d domains after first contact; %d clients recorded",
+		len(sc.Center.Pool.Domains()), len(sc.Center.Pool.IPs()), cnc.BootstrapDomains, domainsAfter, clientsSeen)
+	res.CaptureObs(w.K)
 	return res, nil
 }
 
@@ -295,6 +307,9 @@ func RunF5CnCServer(seed uint64) (*Result, error) {
 	res.metric("logwiper_effective", boolMetric(logsGone), "bool")
 	res.metric("retention_cleanup_effective", boolMetric(cleaned), "bool")
 	res.Pass = adsAndNews == 2 && collected == 1 && operatorBlocked && decrypted == 1 && logsGone && cleaned
+	res.summaryf("%d packages (ad+news) delivered; operator blocked on sealed entry, coordinator decrypted %d; logs wiped, retention emptied the store",
+		adsAndNews, decrypted)
+	res.CaptureObs(w.K)
 	return res, nil
 }
 
@@ -358,6 +373,9 @@ func RunF6ShamoonComponents(seed uint64) (*Result, error) {
 	res.Pass = encrypted == 3 && recovered == 3 && nested == 3 &&
 		rep.Size > 700*1024 && rep.Size < 1500*1024 && len(rep.YaraHits) > 0 && driverSigned
 	res.notef("static analyzer recovered all three XOR keys via known-plaintext against the image magic")
+	res.summaryf("%d KB image; %d/%d XOR-encrypted resources recovered (reporter, wiper, 64-bit variant); Eldos-signed driver verified",
+		rep.Size/1024, nested, encrypted)
+	res.CaptureObs(w.K)
 	return res, nil
 }
 

@@ -78,6 +78,9 @@ func RunE3Lineage(seed uint64) (*Result, error) {
 	res.Pass = stuxDuqu > 0.1 && flameGauss > 0.1 &&
 		stuxDuqu > 10*stuxShamoon && flameGauss > 10*flameShamoon &&
 		stuxDuqu > 10*stuxFlame // the two platforms are distinct factories
-	res.notef("similarity matrix:\n%s", m.Render())
+	res.summaryf("shingle similarity: stuxnet↔duqu %.2f and flame↔gauss %.2f, both >10× any pairing with Shamoon",
+		stuxDuqu, flameGauss)
+	res.block(m.Render())
+	res.CaptureObs(w.K)
 	return res, nil
 }

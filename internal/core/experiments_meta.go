@@ -123,7 +123,11 @@ func RunT1Trends(seed uint64) (*Result, error) {
 		sxProfile.Score(analysis.AxisSuiciding) > 0 && flProfile.Score(analysis.AxisSuiciding) > 0 &&
 		sxProfile.Score(analysis.AxisCertified) > 0 && flProfile.Score(analysis.AxisCertified) > 0 &&
 		shProfile.Score(analysis.AxisCertified) > 0
-	res.notef("profile table:\n%s", analysis.RenderTable(sxProfile, flProfile, shProfile))
+	res.summaryf("sophistication %d/%d/%d (stuxnet/flame/shamoon); only Shamoon lacks a suicide axis",
+		sxProfile.Score(analysis.AxisSophisticated), flProfile.Score(analysis.AxisSophisticated),
+		shProfile.Score(analysis.AxisSophisticated))
+	res.block(analysis.RenderTable(sxProfile, flProfile, shProfile))
+	res.CaptureObs(w1.K, w2.K, w3.K)
 	return res, nil
 }
 
@@ -173,6 +177,7 @@ func RunA1AblationPatching(seed uint64) (*Result, error) {
 		rate := float64(infected) / float64(lanSize)
 		rates = append(rates, rate)
 		res.metric(fmt.Sprintf("infection_rate_patched_%.0f%%", frac*100), rate, "fraction")
+		res.CaptureObs(w.K)
 	}
 	monotone := true
 	for i := 1; i < len(rates); i++ {
@@ -181,6 +186,8 @@ func RunA1AblationPatching(seed uint64) (*Result, error) {
 		}
 	}
 	res.Pass = monotone && rates[0] > 0.9 && rates[len(rates)-1] == 0
+	res.summaryf("infection rate falls monotonically %.0f%%→%.0f%% as MS10-061 coverage sweeps 0→100%%",
+		rates[0]*100, rates[len(rates)-1]*100)
 	res.notef("spread collapses monotonically as MS10-061 coverage grows")
 	return res, nil
 }
@@ -227,6 +234,7 @@ func RunA2AblationAdvisory(seed uint64) (*Result, error) {
 		n := float64(sc.Flame.Stats.UpdateInfections)
 		compromised = append(compromised, n)
 		res.metric(fmt.Sprintf("update_infections_advisory_after_%dh", int(delay.Hours())), n, "hosts")
+		res.CaptureObs(w.K)
 	}
 	monotone := true
 	for i := 1; i < len(compromised); i++ {
@@ -235,6 +243,8 @@ func RunA2AblationAdvisory(seed uint64) (*Result, error) {
 		}
 	}
 	res.Pass = monotone && compromised[0] == 0 && compromised[len(compromised)-1] == fleet-1
+	res.summaryf("fake-update infections grow %.0f→%.0f of %d hosts as the advisory slips 0h→48h",
+		compromised[0], compromised[len(compromised)-1], fleet-1)
 	res.notef("an immediate advisory fully prevents the vector; a slow one cedes the whole LAN")
 	return res, nil
 }
@@ -296,6 +306,8 @@ func RunA3EpidemicCurve(seed uint64) (*Result, error) {
 	expPhase := t50 > 1 && t100 > t50
 	res.metric("secondary_spread_observed", boolMetric(expPhase), "bool")
 	res.Pass = monotone && t50 > 0 && t100 > t50 && curve[len(curve)-1] == fleet
+	res.summaryf("S-curve over %d hosts: 50%% infected at %dh, saturation at %dh, growth monotone", fleet, t50, t100)
 	res.notef("hourly curve (first 12 samples): %v", curve[:min(12, len(curve))])
+	res.CaptureObs(w.K)
 	return res, nil
 }

@@ -93,7 +93,10 @@ func RunE4Sinkhole(seed uint64) (*Result, error) {
 		checkins[string(cnc.ClientIP)] > 0
 	res.metric("surviving_types", boolMetric(survivorsActive)*3, "types")
 	res.Pass = flAliveAfterSuicide == 0 && checkins[string(cnc.ClientFL)] == 0 && survivorsActive
+	res.summaryf("after the FL suicide 0 FL check-ins reach the sinkhole while SP/SPE/IP keep polling (%d/%d/%d check-ins)",
+		checkins[string(cnc.ClientSP)], checkins[string(cnc.ClientSPE)], checkins[string(cnc.ClientIP)])
 	res.notef("after the FL suicide, the sinkhole still sees SP/SPE/IP check-ins — the factory retains a foothold")
+	res.CaptureObs(w.K)
 	return res, nil
 }
 

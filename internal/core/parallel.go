@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // The parallel experiment runner. Every experiment builds its own World —
@@ -119,6 +121,9 @@ type SweepEntry struct {
 	Errors  []error       // per-seed runner errors, seed order
 	Metrics []MetricStat  // first-seen metric order
 	Wall    time.Duration // summed wall clock across seeds
+	// Obs merges the experiment's registry snapshots across every seed
+	// (counter sums grow with the seed count; gauges keep the last fold).
+	Obs obs.Snapshot
 }
 
 // SweepSeeds runs every (experiment, seed) pair across one worker pool
@@ -133,6 +138,11 @@ func SweepSeeds(ids []string, seeds []uint64, workers int) []SweepEntry {
 	reports := make([]RunReport, len(ids)*len(seeds))
 	runPool(len(reports), workers, func(i int) {
 		reports[i] = runOne(ids[i/len(seeds)], seeds[i%len(seeds)])
+		if res := reports[i].Result; res != nil {
+			// A sweep only needs aggregates; retaining every seed's trace
+			// would hold len(ids)*len(seeds) ring buffers in memory.
+			res.Events = nil
+		}
 	})
 
 	entries := make([]SweepEntry, len(ids))
@@ -159,6 +169,7 @@ func SweepSeeds(ids []string, seeds []uint64, workers int) []SweepEntry {
 			if rep.Result.Pass {
 				e.Passes++
 			}
+			e.Obs.Merge(rep.Result.Obs)
 			for _, m := range rep.Result.Metrics {
 				a, ok := stats[m.Name]
 				if !ok {

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRenderExperimentsMarkdownShape(t *testing.T) {
+	reports := []RunReport{
+		{ID: "F1", Result: &Result{
+			ID: "F1", Paper: "multi|line\nclaim", Summary: "4 hosts | 1 project", Pass: true,
+		}},
+		{ID: "T1", Result: &Result{
+			ID: "T1", Paper: "taxonomy", Summary: "profiles ordered", Pass: false,
+			Blocks: []string{"trend table\nrow two"},
+		}},
+		{ID: "C1", Err: errors.New("experiment C1: boom")},
+	}
+	md := RenderExperimentsMarkdown(reports, 7)
+
+	if !strings.HasPrefix(md, ReportHeader) {
+		t.Fatalf("missing generated-file header:\n%s", md[:80])
+	}
+	for _, want := range []string{
+		"| F1 | multi\\|line; claim | 4 hosts \\| 1 project | PASS |",
+		"| T1 | taxonomy | profiles ordered | FAIL |",
+		"| C1 | — | error: experiment C1: boom | ERROR |",
+		"Measured (seed 7)",
+		"```\ntrend table\nrow two\n```",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Sections with no reports at all are omitted entirely.
+	if strings.Contains(md, "## Extensions") {
+		t.Error("empty section rendered")
+	}
+}
+
+func TestRenderExperimentsMarkdownOrderIndependent(t *testing.T) {
+	a := []RunReport{
+		{ID: "F1", Result: &Result{ID: "F1", Summary: "x", Pass: true}},
+		{ID: "F2", Result: &Result{ID: "F2", Summary: "y", Pass: true}},
+	}
+	b := []RunReport{a[1], a[0]}
+	if RenderExperimentsMarkdown(a, 1) != RenderExperimentsMarkdown(b, 1) {
+		t.Fatal("report depends on input report order")
+	}
+}

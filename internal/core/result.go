@@ -3,6 +3,9 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 // Metric is one measured quantity of an experiment.
@@ -18,9 +21,20 @@ type Result struct {
 	ID      string
 	Title   string
 	Paper   string // what the paper reports, for side-by-side rendering
+	Summary string // one-line measured outcome, rendered into EXPERIMENTS.md
 	Metrics []Metric
 	Notes   []string
-	Pass    bool
+	// Blocks are preformatted multi-line artefacts (tables, matrices)
+	// appended to the generated report as fenced code blocks.
+	Blocks []string
+	Pass   bool
+
+	// Obs is the merged metrics snapshot of every kernel the experiment
+	// drove (see CaptureObs).
+	Obs obs.Snapshot
+	// Events are the retained trace records of those kernels, each tagged
+	// exp=<ID>, in capture order.
+	Events []obs.Event
 }
 
 func (r *Result) metric(name string, value float64, unit string) {
@@ -29,6 +43,27 @@ func (r *Result) metric(name string, value float64, unit string) {
 
 func (r *Result) notef(format string, args ...any) {
 	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+func (r *Result) summaryf(format string, args ...any) {
+	r.Summary = fmt.Sprintf(format, args...)
+}
+
+func (r *Result) block(s string) {
+	r.Blocks = append(r.Blocks, strings.TrimRight(s, "\n"))
+}
+
+// CaptureObs folds each kernel's telemetry into the result: registry
+// snapshots merge into Obs, retained trace records append to Events
+// tagged with the experiment ID. Multi-world experiments call it once
+// per world, in a fixed order.
+func (r *Result) CaptureObs(ks ...*sim.Kernel) {
+	for _, k := range ks {
+		r.Obs.Merge(k.Metrics().Snapshot())
+		for _, e := range k.Trace().Events() {
+			r.Events = append(r.Events, e.WithTag(obs.T("exp", r.ID)))
+		}
+	}
 }
 
 // Metric returns the named metric's value (and whether it exists).

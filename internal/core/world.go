@@ -3,6 +3,15 @@
 // worlds the paper describes, campaign runners for the three cyber
 // weapons, and one experiment driver per figure and quantitative claim
 // (see DESIGN.md for the experiment index).
+//
+// Each experiment returns a Result carrying its pass criterion, named
+// metrics, a one-line measured Summary, and the obs telemetry of every
+// kernel it drove (CaptureObs). RunExperiments / RunAllParallel fan
+// experiments across a worker pool with byte-identical output for any
+// worker count; SweepSeeds aggregates metrics and obs snapshots across a
+// Monte Carlo seed sweep; RenderExperimentsMarkdown turns a run's
+// reports into EXPERIMENTS.md, making the committed document a build
+// artefact.
 package core
 
 import (

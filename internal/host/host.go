@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pe"
 	"repro/internal/pki"
 	"repro/internal/sim"
@@ -163,6 +164,10 @@ type Host struct {
 
 	// Wiped is set when destructive malware has destroyed user data.
 	Wiped bool
+
+	// mExec is cached: Execute runs once per process on a 30,000-host
+	// fleet, so it must not pay a registry lookup per call.
+	mExec *obs.Counter
 }
 
 // Option configures a new Host.
@@ -218,6 +223,7 @@ func New(k *sim.Kernel, name string, opts ...Option) *Host {
 		procs:     make(map[int]*Process),
 		drivers:   make(map[string]*Driver),
 		nextPID:   1000,
+		mExec:     k.Metrics().Counter("host.process.exec"),
 	}
 	for _, opt := range opts {
 		opt(h)
@@ -265,6 +271,7 @@ func (h *Host) Execute(img *pe.File, system bool) (*Process, error) {
 	}
 	for _, prod := range h.security {
 		if det := prod.ScanImage(h, img); det != "" {
+			h.K.Metrics().Counter("host.security.block").Inc()
 			h.Logf(sim.CatDefense, prod.Name(), "blocked %s (%s)", img.Name, det)
 			return nil, fmt.Errorf("%w: %s detected %s as %s", ErrBlocked, prod.Name(), img.Name, det)
 		}
@@ -276,7 +283,10 @@ func (h *Host) Execute(img *pe.File, system bool) (*Process, error) {
 	h.nextPID++
 	proc := &Process{PID: h.nextPID, Image: img.Name, Digest: digest, System: system, Alive: true}
 	h.procs[proc.PID] = proc
-	h.K.Trace().Add(h.K.Now(), sim.CatExec, h.Name, "exec %s (pid %d)", img.Name, proc.PID)
+	h.mExec.Inc()
+	h.K.Trace().Emit(h.K.Now(), sim.CatExec, h.Name,
+		fmt.Sprintf("exec %s (pid %d)", img.Name, proc.PID),
+		obs.T("image", img.Name), obs.Ti("pid", int64(proc.PID)))
 	if h.Dispatcher != nil {
 		h.Dispatcher(h, proc, img)
 	}
@@ -391,6 +401,7 @@ func (h *Host) LoadDriver(img *pe.File) (*Driver, error) {
 		}
 	}
 	h.drivers[strings.ToLower(img.Name)] = d
+	h.K.Metrics().Counter("host.driver.load").Inc()
 	h.Logf(sim.CatCert, "ci", "loaded driver %s signed by %q", img.Name, d.Signer)
 	return d, nil
 }
@@ -431,7 +442,9 @@ func (h *Host) Bootable() bool { return h.Disk.Bootable() }
 func (h *Host) InsertUSB(d *usb.Drive) {
 	h.currentUSB = d
 	d.Insertions++
-	h.K.Trace().Add(h.K.Now(), sim.CatUSB, h.Name, "usb inserted: %s", d.Label)
+	h.K.Metrics().Counter("host.usb.insert").Inc()
+	h.K.Trace().Emit(h.K.Now(), sim.CatUSB, h.Name, "usb inserted: "+d.Label,
+		obs.T("drive", d.Label))
 	if h.Internet && d.HiddenDB != nil {
 		d.HiddenDB.InternetSeen = true
 	}
@@ -487,7 +500,10 @@ func (h *Host) BrowseRemovable() error {
 		if err != nil {
 			continue
 		}
-		h.K.Trace().Add(h.K.Now(), sim.CatExploit, h.Name, "%s: crafted LNK %s executed %s", MS10_046, lnk.Name, img.Name)
+		h.K.Metrics().Counter("host.lnk.exploit").Inc()
+		h.K.Trace().Emit(h.K.Now(), sim.CatExploit, h.Name,
+			fmt.Sprintf("%s: crafted LNK %s executed %s", MS10_046, lnk.Name, img.Name),
+			obs.T("bulletin", MS10_046), obs.T("payload", img.Name))
 		if _, err := h.Execute(img, false); err != nil && !errors.Is(err, ErrBlocked) {
 			return err
 		}

@@ -4,8 +4,10 @@
 // Bluetooth radio spaces.
 //
 // Requests are synchronous method calls — the paper's claims concern who
-// can reach and impersonate whom, not latency — but all activity is stamped
-// into the kernel trace at current virtual time.
+// can reach and impersonate whom, not latency — but all activity is
+// stamped into the kernel trace at current virtual time, and the
+// load-bearing transitions (lan.* exploit traffic, internet.request.*
+// volume, wu.update.* outcomes) increment the kernel's obs registry.
 package netsim
 
 import (
@@ -13,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -69,6 +72,9 @@ type Internet struct {
 	// catchAll, when set, resolves every unknown name — the sandbox
 	// sinkhole configuration (INetSim-style).
 	catchAll IP
+
+	mDispatch *obs.Counter
+	hBytes    *obs.Histogram
 }
 
 // SetCatchAll makes every unknown name resolve to ip (empty disables).
@@ -77,9 +83,11 @@ func (in *Internet) SetCatchAll(ip IP) { in.catchAll = ip }
 // NewInternet returns an empty internet.
 func NewInternet(k *sim.Kernel) *Internet {
 	return &Internet{
-		K:       k,
-		dns:     make(map[string]IP),
-		servers: make(map[IP]Handler),
+		K:         k,
+		dns:       make(map[string]IP),
+		servers:   make(map[IP]Handler),
+		mDispatch: k.Metrics().Counter("internet.request.dispatch"),
+		hBytes:    k.Metrics().Histogram("internet.request.bytes", obs.ByteBuckets),
 	}
 }
 
@@ -148,7 +156,11 @@ func (in *Internet) Dispatch(req *Request) (*Response, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s (%s)", ErrNoSuchServer, ip, req.Host)
 	}
-	in.K.Trace().Add(in.K.Now(), sim.CatNetwork, req.Source, "%s http://%s%s (%d bytes)", req.Method, req.Host, req.Path, len(req.Body))
+	in.mDispatch.Inc()
+	in.hBytes.Observe(float64(len(req.Body)))
+	in.K.Trace().Emit(in.K.Now(), sim.CatNetwork, req.Source,
+		fmt.Sprintf("%s http://%s%s (%d bytes)", req.Method, req.Host, req.Path, len(req.Body)),
+		obs.T("dest", req.Host), obs.Ti("bytes", int64(len(req.Body))))
 	return srv.ServeSim(req), nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/host"
+	"repro/internal/obs"
 	"repro/internal/pe"
 	"repro/internal/sim"
 )
@@ -49,16 +50,28 @@ type LAN struct {
 	sortedHosts []*host.Host
 	sortedNames []string
 	peersBuf    []*host.Host
+
+	// Cached metric handles; the SMB/psexec paths run once per peer per
+	// spread round at fleet scale.
+	mAttach, mSMBCopy, mPsexec, mSpooler, mWPAD, mARP, mProxied *obs.Counter
 }
 
 // NewLAN creates a LAN. uplink may be nil for air-gapped segments.
 func NewLAN(k *sim.Kernel, name, subnet string, uplink *Internet) *LAN {
+	m := k.Metrics()
 	return &LAN{
-		Name:   name,
-		K:      k,
-		Uplink: uplink,
-		nodes:  make(map[string]*Node),
-		subnet: subnet,
+		Name:     name,
+		K:        k,
+		Uplink:   uplink,
+		nodes:    make(map[string]*Node),
+		subnet:   subnet,
+		mAttach:  m.Counter("lan.host.attach"),
+		mSMBCopy: m.Counter("lan.smb.copy"),
+		mPsexec:  m.Counter("lan.psexec.exec"),
+		mSpooler: m.Counter("lan.spooler.exploit"),
+		mWPAD:    m.Counter("lan.wpad.answer"),
+		mARP:     m.Counter("lan.arp.poison"),
+		mProxied: m.Counter("lan.http.proxied"),
 	}
 }
 
@@ -68,6 +81,7 @@ func (l *LAN) Attach(h *host.Host) *Node {
 	n := &Node{Host: h, IP: IP(fmt.Sprintf("%s.%d", l.subnet, l.nextIP))}
 	l.nodes[strings.ToLower(h.Name)] = n
 	l.sortedHosts, l.sortedNames = nil, nil
+	l.mAttach.Inc()
 	return n
 }
 
@@ -125,7 +139,10 @@ func (l *LAN) HTTP(from *host.Host, req *Request) (*Response, error) {
 	req.Source = from.Name
 	if from.ProxyHost != "" {
 		if proxy := l.Node(from.ProxyHost); proxy != nil && proxy.Proxy != nil {
-			l.K.Trace().Add(l.K.Now(), sim.CatNetwork, from.Name, "proxied via %s: %s http://%s%s", from.ProxyHost, req.Method, req.Host, req.Path)
+			l.mProxied.Inc()
+			l.K.Trace().Emit(l.K.Now(), sim.CatNetwork, from.Name,
+				fmt.Sprintf("proxied via %s: %s http://%s%s", from.ProxyHost, req.Method, req.Host, req.Path),
+				obs.T("proxy", from.ProxyHost), obs.T("dest", req.Host))
 			if resp := proxy.Proxy(req); resp != nil {
 				return resp, nil
 			}
@@ -153,7 +170,10 @@ func (l *LAN) WPADQuery(from *host.Host) (string, bool) {
 			continue
 		}
 		if proxyHost, ok := n.WPADResponder(from); ok {
-			l.K.Trace().Add(l.K.Now(), sim.CatNetwork, from.Name, "WPAD answered by %s -> proxy %s", n.Host.Name, proxyHost)
+			l.mWPAD.Inc()
+			l.K.Trace().Emit(l.K.Now(), sim.CatNetwork, from.Name,
+				fmt.Sprintf("WPAD answered by %s -> proxy %s", n.Host.Name, proxyHost),
+				obs.T("responder", n.Host.Name), obs.T("proxy", proxyHost))
 			return proxyHost, true
 		}
 	}
@@ -184,7 +204,10 @@ func (l *LAN) ARPPoison(attacker *host.Host, victim string) error {
 		return fmt.Errorf("%w: %s", ErrStaticARP, victim)
 	}
 	n.Host.ProxyHost = attacker.Name
-	l.K.Trace().Add(l.K.Now(), sim.CatNetwork, attacker.Name, "arp poisoned %s: traffic redirected", victim)
+	l.mARP.Inc()
+	l.K.Trace().Emit(l.K.Now(), sim.CatNetwork, attacker.Name,
+		fmt.Sprintf("arp poisoned %s: traffic redirected", victim),
+		obs.T("victim", victim))
 	return nil
 }
 
@@ -223,7 +246,10 @@ func (l *LAN) CopyToShare(from *host.Host, target, remotePath string, data []byt
 	if !n.Host.SharesOpen {
 		return fmt.Errorf("%w: %s", ErrShareClosed, target)
 	}
-	l.K.Trace().Add(l.K.Now(), sim.CatSpread, from.Name, "smb copy to \\\\%s%s (%d bytes)", target, remotePath, len(data))
+	l.mSMBCopy.Inc()
+	l.K.Trace().Emit(l.K.Now(), sim.CatSpread, from.Name,
+		fmt.Sprintf("smb copy to \\\\%s%s (%d bytes)", target, remotePath, len(data)),
+		obs.T("target", target), obs.Ti("bytes", int64(len(data))))
 	return n.Host.FS.Write(remotePath, data, 0, l.K.Now())
 }
 
@@ -237,7 +263,10 @@ func (l *LAN) RemoteExec(from *host.Host, target, remotePath string) error {
 	if !n.Host.SharesOpen {
 		return fmt.Errorf("%w: %s", ErrShareClosed, target)
 	}
-	l.K.Trace().Add(l.K.Now(), sim.CatSpread, from.Name, "psexec \\\\%s %s", target, remotePath)
+	l.mPsexec.Inc()
+	l.K.Trace().Emit(l.K.Now(), sim.CatSpread, from.Name,
+		fmt.Sprintf("psexec \\\\%s %s", target, remotePath),
+		obs.T("target", target))
 	_, err := n.Host.ExecuteFile(remotePath, true)
 	return err
 }
@@ -279,7 +308,10 @@ func (l *LAN) SpoolerExploit(from *host.Host, target string, dropper *pe.File) e
 	if err := t.FS.Write(spoolerDropper, raw, host.AttrHidden, l.K.Now()); err != nil {
 		return err
 	}
-	l.K.Trace().Add(l.K.Now(), sim.CatExploit, from.Name, "%s: spooler wrote %s on %s", MS10_061, spoolerDropper, target)
+	l.mSpooler.Inc()
+	l.K.Trace().Emit(l.K.Now(), sim.CatExploit, from.Name,
+		fmt.Sprintf("%s: spooler wrote %s on %s", MS10_061, spoolerDropper, target),
+		obs.T("bulletin", MS10_061), obs.T("target", target))
 	// MOF compilation registers the event consumer which launches the
 	// dropper shortly after.
 	l.K.Schedule(0, "mof:"+target, func() {

@@ -85,9 +85,11 @@ func CheckForUpdates(l *LAN, h *host.Host) (*pe.File, error) {
 	}
 	sig, err := pki.VerifyImage(img, h.CertStore, h.K.Now(), pki.UsageCodeSign)
 	if err != nil {
+		h.K.Metrics().Counter("wu.update.reject").Inc()
 		h.Logf(sim.CatCert, "wuauclt", "rejected update %s: %v", img.Name, err)
 		return nil, fmt.Errorf("%w: %v", ErrUpdateRejected, err)
 	}
+	h.K.Metrics().Counter("wu.update.install").Inc()
 	h.Logf(sim.CatNetwork, "wuauclt", "installing update %s signed by %q", img.Name, sig.Chain[0].Subject)
 	h.Registry.Set(key, img.Name)
 	if _, err := h.Execute(img, true); err != nil {

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Tag is one key=value annotation on an event. Tags are an ordered
+// slice, not a map, so encodings are deterministic without sorting.
+type Tag struct {
+	K, V string
+}
+
+// T builds a string tag.
+func T(k, v string) Tag { return Tag{K: k, V: v} }
+
+// Ti builds an integer tag.
+func Ti(k string, v int64) Tag { return Tag{K: k, V: strconv.FormatInt(v, 10)} }
+
+// Event is one structured trace record: what happened (Cat + Msg), to
+// whom (Actor), when in *virtual* time (At, with Seq breaking ties into
+// a total order), plus free-form tags. Wall-clock time never appears —
+// that is what keeps trace exports byte-identical across runs.
+type Event struct {
+	At    time.Time
+	Seq   uint64
+	Cat   string
+	Actor string
+	Msg   string
+	Tags  []Tag
+}
+
+// WithTag returns a copy of e with an extra tag prepended (used to stamp
+// the owning experiment onto exported events).
+func (e Event) WithTag(t Tag) Event {
+	tags := make([]Tag, 0, len(e.Tags)+1)
+	tags = append(tags, t)
+	tags = append(tags, e.Tags...)
+	e.Tags = tags
+	return e
+}
+
+// appendString appends a JSON-quoted string.
+func appendString(b []byte, s string) []byte {
+	q, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		return append(b, `""`...)
+	}
+	return append(b, q...)
+}
+
+// AppendJSONL appends the event as one JSON line (with trailing newline)
+// in fixed field order: t, seq, cat, actor, msg, tags. Tags keep their
+// insertion order; an empty tag set is omitted.
+func (e Event) AppendJSONL(b []byte) []byte {
+	b = append(b, `{"t":"`...)
+	b = e.At.UTC().AppendFormat(b, time.RFC3339Nano)
+	b = append(b, `","seq":`...)
+	b = strconv.AppendUint(b, e.Seq, 10)
+	b = append(b, `,"cat":`...)
+	b = appendString(b, e.Cat)
+	b = append(b, `,"actor":`...)
+	b = appendString(b, e.Actor)
+	b = append(b, `,"msg":`...)
+	b = appendString(b, e.Msg)
+	if len(e.Tags) > 0 {
+		b = append(b, `,"tags":{`...)
+		for i, t := range e.Tags {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = appendString(b, t.K)
+			b = append(b, ':')
+			b = appendString(b, t.V)
+		}
+		b = append(b, '}')
+	}
+	b = append(b, '}', '\n')
+	return b
+}
+
+// WriteJSONL writes events one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	var buf []byte
+	for _, e := range events {
+		buf = e.AppendJSONL(buf[:0])
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -5,6 +5,13 @@
 // events. Events fire in timestamp order; ties are broken by scheduling
 // sequence number so that runs are fully deterministic. All randomness in
 // the range must come from the kernel's seeded RNG.
+//
+// Each kernel also carries the world's observability state: an
+// obs.Registry of metrics (the kernel itself maintains the
+// sim.event.schedule / sim.event.execute / sim.event.cancel counters;
+// substrates register their own) and the structured Trace whose tagged
+// records export as JSONL. Both are keyed to virtual time only, so runs
+// with equal seeds produce byte-identical telemetry.
 package sim
 
 import (
@@ -12,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Epoch is the default virtual start time of a simulation: shortly before
@@ -80,6 +89,15 @@ type Kernel struct {
 	trace   *Trace
 	stopped bool
 	steps   uint64
+
+	metrics *obs.Registry
+	// Cached counter handles: scheduling and stepping are the hottest
+	// paths in the range, so they must not pay a map lookup per event.
+	mSchedule, mExecute, mCancel *obs.Counter
+	// kernelEvents gates per-event trace records (schedule/execute/
+	// cancel). Off by default: a 30,000-host fleet steps millions of
+	// times and would evict every interesting record from the ring.
+	kernelEvents bool
 }
 
 // Option configures a Kernel at construction time.
@@ -100,13 +118,24 @@ func WithTraceCapacity(n int) Option {
 	return func(k *Kernel) { k.trace = NewTrace(n) }
 }
 
+// WithKernelEvents enables per-event trace records for every schedule,
+// execute and cancel (category CatKernel). Debug aid; the counters in
+// Metrics are always maintained regardless.
+func WithKernelEvents(v bool) Option {
+	return func(k *Kernel) { k.kernelEvents = v }
+}
+
 // NewKernel returns a kernel positioned at Epoch with a seeded RNG.
 func NewKernel(opts ...Option) *Kernel {
 	k := &Kernel{
-		now:   Epoch,
-		rng:   NewRNG(1),
-		trace: NewTrace(4096),
+		now:     Epoch,
+		rng:     NewRNG(1),
+		trace:   NewTrace(4096),
+		metrics: obs.NewRegistry(),
 	}
+	k.mSchedule = k.metrics.Counter("sim.event.schedule")
+	k.mExecute = k.metrics.Counter("sim.event.execute")
+	k.mCancel = k.metrics.Counter("sim.event.cancel")
 	for _, opt := range opts {
 		opt(k)
 	}
@@ -121,6 +150,11 @@ func (k *Kernel) RNG() *RNG { return k.rng }
 
 // Trace returns the kernel's structured trace log.
 func (k *Kernel) Trace() *Trace { return k.trace }
+
+// Metrics returns the kernel's metrics registry. Substrates register
+// their counters, gauges and histograms here; names follow the
+// subsystem.noun.verb convention (DESIGN.md §6).
+func (k *Kernel) Metrics() *obs.Registry { return k.metrics }
 
 // Steps reports how many events have been executed so far.
 func (k *Kernel) Steps() uint64 { return k.steps }
@@ -149,6 +183,10 @@ func (k *Kernel) ScheduleAt(t time.Time, name string, fn func()) *Event {
 	k.seq++
 	ev := &Event{at: t, seq: k.seq, name: name, fn: fn}
 	heap.Push(&k.queue, ev)
+	k.mSchedule.Inc()
+	if k.kernelEvents {
+		k.trace.Emit(k.now, CatKernel, "kernel", "schedule "+name, obs.Ti("seq", int64(ev.seq)))
+	}
 	return ev
 }
 
@@ -189,6 +227,10 @@ func (k *Kernel) Cancel(ev *Event) {
 	}
 	heap.Remove(&k.queue, ev.index)
 	ev.index = -1
+	k.mCancel.Inc()
+	if k.kernelEvents {
+		k.trace.Emit(k.now, CatKernel, "kernel", "cancel "+ev.name, obs.Ti("seq", int64(ev.seq)))
+	}
 }
 
 // Stop halts the current Run call after the in-flight event completes.
@@ -207,6 +249,10 @@ func (k *Kernel) Step() bool {
 	ev := heap.Pop(&k.queue).(*Event)
 	k.now = ev.at
 	k.steps++
+	k.mExecute.Inc()
+	if k.kernelEvents {
+		k.trace.Emit(k.now, CatKernel, "kernel", "execute "+ev.name, obs.Ti("seq", int64(ev.seq)))
+	}
 	ev.fn()
 	return true
 }

@@ -2,8 +2,11 @@ package sim
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Category classifies trace records so analyses (and tests) can filter the
@@ -26,14 +29,24 @@ const (
 	CatSuicide   Category = "suicide"   // self-removal
 	CatBluetooth Category = "bluetooth" // bluetooth activity
 	CatUSB       Category = "usb"       // removable media activity
+	CatKernel    Category = "kernel"    // scheduler internals (WithKernelEvents)
 )
 
-// Record is one structured trace entry.
+// Record is one structured trace entry: a timestamped, tagged event.
+// Seq is assigned by the owning Trace and, with At, gives records a
+// total order that survives export and concatenation.
 type Record struct {
 	At      time.Time
+	Seq     uint64
 	Cat     Category
 	Actor   string // emitting component, e.g. host name or module name
 	Message string
+	Tags    []obs.Tag
+}
+
+// Event converts the record to its export form.
+func (r Record) Event() obs.Event {
+	return obs.Event{At: r.At, Seq: r.Seq, Cat: string(r.Cat), Actor: r.Actor, Msg: r.Message, Tags: r.Tags}
 }
 
 func (r Record) String() string {
@@ -47,6 +60,7 @@ type Trace struct {
 	records []Record
 	next    int
 	full    bool
+	seq     uint64
 	counts  map[Category]int
 	muted   bool
 }
@@ -66,17 +80,24 @@ func NewTrace(capacity int) *Trace {
 // still accumulate while muted; benchmarks use this to avoid log churn.
 func (t *Trace) SetMuted(m bool) { t.muted = m }
 
-// Add appends a record.
+// Add appends a record built from a format string.
 func (t *Trace) Add(at time.Time, cat Category, actor, format string, args ...any) {
-	t.counts[cat]++
-	if t.muted {
-		return
-	}
 	msg := format
 	if len(args) > 0 {
 		msg = fmt.Sprintf(format, args...)
 	}
-	t.records[t.next] = Record{At: at, Cat: cat, Actor: actor, Message: msg}
+	t.Emit(at, cat, actor, msg)
+}
+
+// Emit appends a tagged record. The message is taken verbatim; tags are
+// retained in order and appear in JSONL exports.
+func (t *Trace) Emit(at time.Time, cat Category, actor, msg string, tags ...obs.Tag) {
+	t.counts[cat]++
+	t.seq++
+	if t.muted {
+		return
+	}
+	t.records[t.next] = Record{At: at, Seq: t.seq, Cat: cat, Actor: actor, Message: msg, Tags: tags}
 	t.next++
 	if t.next == len(t.records) {
 		t.next = 0
@@ -130,4 +151,21 @@ func (t *Trace) Dump() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// Events returns retained records in chronological order in their
+// export form.
+func (t *Trace) Events() []obs.Event {
+	recs := t.Records()
+	out := make([]obs.Event, len(recs))
+	for i, r := range recs {
+		out[i] = r.Event()
+	}
+	return out
+}
+
+// WriteJSONL exports the retained records as JSON lines. Only virtual
+// time appears in the output, so equal-seed runs export identical bytes.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	return obs.WriteJSONL(w, t.Events())
 }
