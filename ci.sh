@@ -23,14 +23,33 @@ go test ./...
 go test -race -run 'Parallel|Sweep|RaceLane' ./internal/core
 go test -race ./internal/sim ./internal/netsim ./internal/cnc
 
+# Bench lane: compile and run every obs/provenance benchmark once, so a
+# benchmark that rots (or an accidental per-event allocation regression
+# caught by its companion test) fails CI rather than bitrotting.
+go test -bench=. -benchtime=1x -run '^$' ./internal/obs ./internal/provenance
+
+tmp_report=$(mktemp)
+tmp_trace=$(mktemp)
+tmp_dot=$(mktemp)
+trap 'rm -f "$tmp_report" "$tmp_trace" "$tmp_dot"' EXIT
+
 # Docs drift gate: EXPERIMENTS.md is a build artefact of `cyberlab -report`.
 # Regenerate from a live run and fail if the committed copy differs.
-tmp_report=$(mktemp)
-trap 'rm -f "$tmp_report"' EXIT
 go run ./cmd/cyberlab -report -o "$tmp_report" >/dev/null
 if ! diff -u EXPERIMENTS.md "$tmp_report"; then
     echo "EXPERIMENTS.md drifted from the code; regenerate with:" >&2
     echo "  go run ./cmd/cyberlab -report -o EXPERIMENTS.md" >&2
+    exit 1
+fi
+
+# Provenance drift gate: the trace subcommand must reconstruct the
+# committed Stuxnet infection tree byte-for-byte from a fresh export.
+go run ./cmd/cyberlab -run F1 -trace "$tmp_trace" >/dev/null
+go run ./cmd/cyberlab trace -in "$tmp_trace" -dot "$tmp_dot" 2>/dev/null
+if ! diff -u examples/provenance/f1-stuxnet.dot "$tmp_dot"; then
+    echo "provenance DOT drifted; regenerate with:" >&2
+    echo "  go run ./cmd/cyberlab -run F1 -trace f1.jsonl" >&2
+    echo "  go run ./cmd/cyberlab trace -in f1.jsonl -dot examples/provenance/f1-stuxnet.dot" >&2
     exit 1
 fi
 

@@ -11,6 +11,7 @@
 //	cyberlab -all [-parallel 8] [-trace t.jsonl] [-metrics m.json]
 //	cyberlab -all -seeds 1..16 [-parallel 8]
 //	cyberlab -report [-o EXPERIMENTS.md]
+//	cyberlab trace -in t.jsonl [-cat X] [-actor Y] [-tag k=v] [-chain F1/s3] [-dot out.dot]
 //
 // -parallel fans experiments out across a worker pool; the report, trace
 // and metrics outputs are byte-identical to a sequential run because each
@@ -22,19 +23,28 @@
 // tagged exp=<ID>); -metrics writes the merged obs snapshot as JSON.
 // -report renders EXPERIMENTS.md from the live run, making the committed
 // document a reproducible build artefact (ci.sh fails on drift).
+//
+// The trace subcommand reads a `-trace` JSONL export back and
+// reconstructs the causal provenance forest: who infected whom, over
+// which vector, and when. Default output is the indented tree plus
+// aggregate stats; -dot renders Graphviz; -chain prints one episode's
+// root-to-leaf causal path.
 package main
 
 import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/provenance"
 )
 
 func main() {
@@ -45,6 +55,9 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "trace" {
+		return runTrace(args[1:])
+	}
 	fs := flag.NewFlagSet("cyberlab", flag.ContinueOnError)
 	var (
 		list       = fs.Bool("list", false, "list experiment IDs and exit")
@@ -63,6 +76,15 @@ func run(args []string) error {
 	}
 	if *parallel < 1 {
 		return fmt.Errorf("-parallel must be >= 1 (got %d)", *parallel)
+	}
+	// Fail on unwritable output destinations before experiments burn wall
+	// clock, not minutes later at write time.
+	for _, o := range []struct{ flag, path string }{
+		{"-o", *out}, {"-trace", *traceOut}, {"-metrics", *metricsOut},
+	} {
+		if err := validateOutPath(o.flag, o.path); err != nil {
+			return err
+		}
 	}
 	var report strings.Builder
 	emit := func(format string, a ...any) {
@@ -251,6 +273,151 @@ func writeMetrics(path string, snap obs.Snapshot) error {
 		return fmt.Errorf("write metrics: %w", err)
 	}
 	return nil
+}
+
+// validateOutPath rejects output destinations that cannot possibly be
+// written: a missing or non-directory parent, or a path that is itself a
+// directory.
+func validateOutPath(flagName, path string) error {
+	if path == "" || path == "-" {
+		return nil
+	}
+	dir := filepath.Dir(path)
+	info, err := os.Stat(dir)
+	if err != nil {
+		return fmt.Errorf("%s %s: output directory %s does not exist", flagName, path, dir)
+	}
+	if !info.IsDir() {
+		return fmt.Errorf("%s %s: %s is not a directory", flagName, path, dir)
+	}
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return fmt.Errorf("%s %s: path is a directory", flagName, path)
+	}
+	return nil
+}
+
+// runTrace implements `cyberlab trace`: read a JSONL export, reconstruct
+// the provenance forest, and render it (text, DOT, or one causal chain).
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("cyberlab trace", flag.ContinueOnError)
+	var (
+		in     = fs.String("in", "", "JSONL trace export to read (required; \"-\" = stdin)")
+		cat    = fs.String("cat", "", "keep only events of this category")
+		actor  = fs.String("actor", "", "keep only events of this actor")
+		tag    = fs.String("tag", "", "keep only events carrying this k=v tag (e.g. exp=F1)")
+		chain  = fs.String("chain", "", "print the causal chain of one span: EXP/sN, or sN/N when one experiment is present")
+		dotOut = fs.String("dot", "", "write the forest as Graphviz DOT to this file (\"-\" = stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("trace: -in FILE is required")
+	}
+	if err := validateOutPath("-dot", *dotOut); err != nil {
+		return err
+	}
+	var tagKey, tagVal string
+	if *tag != "" {
+		var ok bool
+		tagKey, tagVal, ok = strings.Cut(*tag, "=")
+		if !ok || tagKey == "" {
+			return fmt.Errorf("trace: -tag wants k=v (got %q)", *tag)
+		}
+	}
+
+	r := io.Reader(os.Stdin)
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := obs.ParseJSONL(r)
+	if err != nil {
+		return fmt.Errorf("trace: read %s: %w", *in, err)
+	}
+	kept := events[:0]
+	for _, e := range events {
+		if *cat != "" && e.Cat != *cat {
+			continue
+		}
+		if *actor != "" && e.Actor != *actor {
+			continue
+		}
+		if tagKey != "" {
+			if v, ok := e.Get(tagKey); !ok || v != tagVal {
+				continue
+			}
+		}
+		kept = append(kept, e)
+	}
+	forest := provenance.Build(kept)
+
+	if *chain != "" {
+		id, err := parseSpanRef(*chain, forest)
+		if err != nil {
+			return err
+		}
+		nodes := forest.Chain(id)
+		if nodes == nil {
+			return fmt.Errorf("trace: span %s not in the (filtered) stream", id)
+		}
+		for i, n := range nodes {
+			prefix := "origin"
+			if i > 0 {
+				prefix = fmt.Sprintf("hop %d (%s)", i, n.Vector)
+			}
+			fmt.Printf("%-18s %s  %s  [%s] %s  (%s)\n",
+				prefix, n.ID, n.Actor, n.Cat, n.Msg, n.At.UTC().Format(time.RFC3339))
+		}
+		return nil
+	}
+
+	if *dotOut != "" {
+		if *dotOut == "-" {
+			return forest.DOT(os.Stdout)
+		}
+		var buf bytes.Buffer
+		if err := forest.DOT(&buf); err != nil {
+			return fmt.Errorf("trace: render dot: %w", err)
+		}
+		if err := os.WriteFile(*dotOut, buf.Bytes(), 0o644); err != nil {
+			return fmt.Errorf("trace: write dot: %w", err)
+		}
+		fmt.Fprint(os.Stderr, provenance.RenderStats(forest.Stats()))
+		return nil
+	}
+
+	fmt.Print(provenance.RenderStats(forest.Stats()))
+	if len(forest.Nodes) > 0 {
+		fmt.Println()
+		return forest.Text(os.Stdout)
+	}
+	return nil
+}
+
+// parseSpanRef resolves -chain's EXP/sN, sN or N forms against the
+// forest. The bare forms need an unambiguous experiment tag.
+func parseSpanRef(s string, f *provenance.Forest) (provenance.NodeID, error) {
+	exp, rest, ok := strings.Cut(s, "/")
+	if !ok {
+		rest, exp = s, ""
+		exps := f.Exps()
+		if len(exps) == 1 {
+			exp = exps[0]
+		} else if len(exps) > 1 {
+			return provenance.NodeID{}, fmt.Errorf(
+				"trace: -chain %q is ambiguous across experiments %s; use EXP/sN", s, strings.Join(exps, ","))
+		}
+	}
+	n, err := strconv.ParseUint(strings.TrimPrefix(rest, "s"), 10, 64)
+	if err != nil || n == 0 {
+		return provenance.NodeID{}, fmt.Errorf("trace: bad -chain span %q (want EXP/sN)", s)
+	}
+	return provenance.NodeID{Exp: exp, Span: obs.Span(n)}, nil
 }
 
 // parseSeeds accepts "A..B" (inclusive range, A <= B) or a comma list

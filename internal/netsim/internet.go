@@ -34,9 +34,15 @@ type Request struct {
 }
 
 // Response is a simulated HTTP response.
+//
+// OriginSpan/OriginVector are set by malicious responders (Flame's
+// fake-update MITM): they attribute whatever the client does with the
+// body — typically executing it — to the episode that served it.
 type Response struct {
-	Status int
-	Body   []byte
+	Status       int
+	Body         []byte
+	OriginSpan   obs.Span
+	OriginVector string
 }
 
 // OK wraps body in a 200 response.

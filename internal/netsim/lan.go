@@ -267,7 +267,10 @@ func (l *LAN) RemoteExec(from *host.Host, target, remotePath string) error {
 	l.K.Trace().Emit(l.K.Now(), sim.CatSpread, from.Name,
 		fmt.Sprintf("psexec \\\\%s %s", target, remotePath),
 		obs.T("target", target))
-	_, err := n.Host.ExecuteFile(remotePath, true)
+	var err error
+	l.K.WithCause(sim.Cause{Span: l.K.Cause().Span, Vector: "psexec"}, func() {
+		_, err = n.Host.ExecuteFile(remotePath, true)
+	})
 	return err
 }
 
@@ -313,11 +316,15 @@ func (l *LAN) SpoolerExploit(from *host.Host, target string, dropper *pe.File) e
 		fmt.Sprintf("%s: spooler wrote %s on %s", MS10_061, spoolerDropper, target),
 		obs.T("bulletin", MS10_061), obs.T("target", target))
 	// MOF compilation registers the event consumer which launches the
-	// dropper shortly after.
-	l.K.Schedule(0, "mof:"+target, func() {
-		if _, err := t.ExecuteFile(spoolerDropper, true); err != nil {
-			t.Logf(sim.CatExec, "wmi", "mof-launched dropper failed: %v", err)
-		}
+	// dropper shortly after. The schedule is wrapped in a spooler-vector
+	// cause so the infection the dropper produces attributes to the
+	// attacking episode across the timer hop.
+	l.K.WithCause(sim.Cause{Span: l.K.Cause().Span, Vector: "spooler"}, func() {
+		l.K.Schedule(0, "mof:"+target, func() {
+			if _, err := t.ExecuteFile(spoolerDropper, true); err != nil {
+				t.Logf(sim.CatExec, "wmi", "mof-launched dropper failed: %v", err)
+			}
+		})
 	})
 	return nil
 }

@@ -92,8 +92,18 @@ func CheckForUpdates(l *LAN, h *host.Host) (*pe.File, error) {
 	h.K.Metrics().Counter("wu.update.install").Inc()
 	h.Logf(sim.CatNetwork, "wuauclt", "installing update %s signed by %q", img.Name, sig.Chain[0].Subject)
 	h.Registry.Set(key, img.Name)
-	if _, err := h.Execute(img, true); err != nil {
-		return nil, err
+	var execErr error
+	if resp.OriginSpan != 0 {
+		// A MITM'd catalog response: attribute the execution to the
+		// episode that served the fake update.
+		h.K.WithCause(sim.Cause{Span: resp.OriginSpan, Vector: resp.OriginVector}, func() {
+			_, execErr = h.Execute(img, true)
+		})
+	} else {
+		_, execErr = h.Execute(img, true)
+	}
+	if execErr != nil {
+		return nil, execErr
 	}
 	return img, nil
 }

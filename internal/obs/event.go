@@ -1,8 +1,11 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"time"
 )
@@ -19,17 +22,27 @@ func T(k, v string) Tag { return Tag{K: k, V: v} }
 // Ti builds an integer tag.
 func Ti(k string, v int64) Tag { return Tag{K: k, V: strconv.FormatInt(v, 10)} }
 
+// Span identifies a causal episode in the trace. Spans are allocated by a
+// deterministic per-kernel counter starting at 1; zero means "no span".
+type Span uint64
+
 // Event is one structured trace record: what happened (Cat + Msg), to
 // whom (Actor), when in *virtual* time (At, with Seq breaking ties into
 // a total order), plus free-form tags. Wall-clock time never appears —
 // that is what keeps trace exports byte-identical across runs.
+//
+// Span and Parent carry causality: the first event bearing a given Span
+// opens that episode and names its cause via Parent (zero for roots);
+// later events with the same Span and Parent == 0 are in-episode detail.
 type Event struct {
-	At    time.Time
-	Seq   uint64
-	Cat   string
-	Actor string
-	Msg   string
-	Tags  []Tag
+	At     time.Time
+	Seq    uint64
+	Cat    string
+	Actor  string
+	Msg    string
+	Span   Span
+	Parent Span
+	Tags   []Tag
 }
 
 // WithTag returns a copy of e with an extra tag prepended (used to stamp
@@ -42,6 +55,25 @@ func (e Event) WithTag(t Tag) Event {
 	return e
 }
 
+// TagAll prepends the same tag to every event in place, sharing one
+// backing array for all the rewritten tag slices. Export paths that
+// stamp an experiment ID onto thousands of events use this instead of
+// per-event WithTag copies: total allocations stay O(1) in the number
+// of events.
+func TagAll(events []Event, t Tag) {
+	total := 0
+	for i := range events {
+		total += len(events[i].Tags) + 1
+	}
+	arena := make([]Tag, 0, total)
+	for i := range events {
+		start := len(arena)
+		arena = append(arena, t)
+		arena = append(arena, events[i].Tags...)
+		events[i].Tags = arena[start:len(arena):len(arena)]
+	}
+}
+
 // appendString appends a JSON-quoted string.
 func appendString(b []byte, s string) []byte {
 	q, err := json.Marshal(s)
@@ -52,8 +84,10 @@ func appendString(b []byte, s string) []byte {
 }
 
 // AppendJSONL appends the event as one JSON line (with trailing newline)
-// in fixed field order: t, seq, cat, actor, msg, tags. Tags keep their
-// insertion order; an empty tag set is omitted.
+// in fixed field order: t, seq, cat, actor, msg, span, parent, tags.
+// Zero span/parent fields are omitted, so span-free events keep the PR-2
+// wire shape byte-for-byte. Tags keep their insertion order; an empty
+// tag set is omitted.
 func (e Event) AppendJSONL(b []byte) []byte {
 	b = append(b, `{"t":"`...)
 	b = e.At.UTC().AppendFormat(b, time.RFC3339Nano)
@@ -65,6 +99,14 @@ func (e Event) AppendJSONL(b []byte) []byte {
 	b = appendString(b, e.Actor)
 	b = append(b, `,"msg":`...)
 	b = appendString(b, e.Msg)
+	if e.Span != 0 {
+		b = append(b, `,"span":`...)
+		b = strconv.AppendUint(b, uint64(e.Span), 10)
+	}
+	if e.Parent != 0 {
+		b = append(b, `,"parent":`...)
+		b = strconv.AppendUint(b, uint64(e.Parent), 10)
+	}
 	if len(e.Tags) > 0 {
 		b = append(b, `,"tags":{`...)
 		for i, t := range e.Tags {
@@ -91,4 +133,69 @@ func WriteJSONL(w io.Writer, events []Event) error {
 		}
 	}
 	return nil
+}
+
+// jsonlEvent mirrors the AppendJSONL wire shape for decoding.
+type jsonlEvent struct {
+	T      time.Time         `json:"t"`
+	Seq    uint64            `json:"seq"`
+	Cat    string            `json:"cat"`
+	Actor  string            `json:"actor"`
+	Msg    string            `json:"msg"`
+	Span   uint64            `json:"span"`
+	Parent uint64            `json:"parent"`
+	Tags   map[string]string `json:"tags"`
+}
+
+// ParseJSONL decodes a JSONL event stream produced by WriteJSONL. Tag
+// insertion order is not preserved by JSON objects, so tags come back
+// sorted by key — a deterministic order, just not the emission order.
+// Blank lines are skipped; a malformed line fails with its line number.
+func ParseJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var je jsonlEvent
+		if err := json.Unmarshal(line, &je); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		e := Event{
+			At: je.T, Seq: je.Seq, Cat: je.Cat, Actor: je.Actor, Msg: je.Msg,
+			Span: Span(je.Span), Parent: Span(je.Parent),
+		}
+		if len(je.Tags) > 0 {
+			keys := make([]string, 0, len(je.Tags))
+			for k := range je.Tags {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			e.Tags = make([]Tag, len(keys))
+			for i, k := range keys {
+				e.Tags[i] = Tag{K: k, V: je.Tags[k]}
+			}
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: scan: %w", err)
+	}
+	return out, nil
+}
+
+// Tag lookup helper: Get returns the value of the named tag and whether
+// it is present.
+func (e Event) Get(key string) (string, bool) {
+	for _, t := range e.Tags {
+		if t.K == key {
+			return t.V, true
+		}
+	}
+	return "", false
 }

@@ -18,6 +18,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
@@ -31,12 +32,23 @@ var Epoch = time.Date(2010, time.June, 1, 0, 0, 0, 0, time.UTC)
 // explicitly via Stop before the run condition was reached.
 var ErrStopped = errors.New("sim: kernel stopped")
 
+// Cause is the causal context an action runs under: the span that caused
+// it and the infection vector that transition would use. The kernel keeps
+// an ambient Cause that ScheduleAt captures into scheduled events and
+// Step reinstates around their callbacks, so causality survives timer
+// hops (spooler MOF droppers, scheduled wipers, beacon ticks).
+type Cause struct {
+	Span   obs.Span
+	Vector string
+}
+
 // Event is a scheduled callback inside the simulation.
 type Event struct {
 	at    time.Time
 	seq   uint64
 	name  string
 	fn    func()
+	cause Cause
 	index int // heap index; -1 once popped or cancelled
 }
 
@@ -89,11 +101,20 @@ type Kernel struct {
 	trace   *Trace
 	stopped bool
 	steps   uint64
+	spans   uint64 // last span ID allocated by OpenSpan
+	cause   Cause  // ambient causal context
 
 	metrics *obs.Registry
 	// Cached counter handles: scheduling and stepping are the hottest
 	// paths in the range, so they must not pay a map lookup per event.
 	mSchedule, mExecute, mCancel *obs.Counter
+	// Profiling: per-handler-class execution counters (class = event name
+	// up to the first ':', so host-suffixed names share one series) and a
+	// histogram of virtual-time deltas between consecutive steps.
+	handlerCounters map[string]*obs.Counter
+	hVTDelta        *obs.Histogram
+	lastStepAt      time.Time
+	haveLastStep    bool
 	// kernelEvents gates per-event trace records (schedule/execute/
 	// cancel). Off by default: a 30,000-host fleet steps millions of
 	// times and would evict every interesting record from the ring.
@@ -136,11 +157,18 @@ func NewKernel(opts ...Option) *Kernel {
 	k.mSchedule = k.metrics.Counter("sim.event.schedule")
 	k.mExecute = k.metrics.Counter("sim.event.execute")
 	k.mCancel = k.metrics.Counter("sim.event.cancel")
+	k.handlerCounters = make(map[string]*obs.Counter)
+	k.hVTDelta = k.metrics.Histogram("sim.step.vtdelta-seconds", VTDeltaBuckets)
 	for _, opt := range opts {
 		opt(k)
 	}
 	return k
 }
+
+// VTDeltaBuckets is the bucket layout of the sim.step.vtdelta-seconds
+// histogram: virtual-time gaps between consecutive steps, from sub-second
+// bursts to multi-day quiet stretches.
+var VTDeltaBuckets = []float64{0, 1, 60, 600, 3600, 6 * 3600, 24 * 3600, 7 * 24 * 3600}
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() time.Time { return k.now }
@@ -158,6 +186,52 @@ func (k *Kernel) Metrics() *obs.Registry { return k.metrics }
 
 // Steps reports how many events have been executed so far.
 func (k *Kernel) Steps() uint64 { return k.steps }
+
+// SpanCount reports how many causal spans OpenSpan has allocated. Result
+// capture uses it to offset span IDs when merging multi-kernel traces.
+func (k *Kernel) SpanCount() uint64 { return k.spans }
+
+// Cause returns the ambient causal context.
+func (k *Kernel) Cause() Cause { return k.cause }
+
+// WithCause runs fn with c installed as the ambient causal context,
+// restoring the previous context (and the trace's ambient span stamp)
+// afterwards. Use it to attribute a synchronous action — an exploit
+// delivering a dropper, an update MITM, a C&C order being applied — to
+// the episode that caused it.
+func (k *Kernel) WithCause(c Cause, fn func()) {
+	prev := k.cause
+	k.cause = c
+	k.trace.setAmbient(c.Span)
+	fn()
+	k.cause = prev
+	k.trace.setAmbient(prev.Span)
+}
+
+// OpenSpan allocates a new causal episode and emits its opening trace
+// record. The parent is the ambient cause's span (zero makes this a
+// root); the edge vector is the explicit vector argument, falling back
+// to the ambient cause's vector, then "root". The opening record carries
+// the vector as a tag so provenance reconstruction can label edges.
+//
+// OpenSpan does NOT install the new span as the ambient cause — callers
+// wrap the actions belonging to the episode in WithCause explicitly.
+func (k *Kernel) OpenSpan(cat Category, actor, msg, vector string, tags ...obs.Tag) obs.Span {
+	k.spans++
+	span := obs.Span(k.spans)
+	parent := k.cause.Span
+	if vector == "" {
+		vector = k.cause.Vector
+	}
+	if vector == "" {
+		vector = "root"
+	}
+	all := make([]obs.Tag, 0, len(tags)+1)
+	all = append(all, obs.T("vector", vector))
+	all = append(all, tags...)
+	k.trace.EmitSpan(k.now, cat, actor, msg, span, parent, all...)
+	return span
+}
 
 // Pending reports how many events are waiting in the queue.
 func (k *Kernel) Pending() int { return len(k.queue) }
@@ -181,7 +255,7 @@ func (k *Kernel) ScheduleAt(t time.Time, name string, fn func()) *Event {
 		t = k.now
 	}
 	k.seq++
-	ev := &Event{at: t, seq: k.seq, name: name, fn: fn}
+	ev := &Event{at: t, seq: k.seq, name: name, fn: fn, cause: k.cause}
 	heap.Push(&k.queue, ev)
 	k.mSchedule.Inc()
 	if k.kernelEvents {
@@ -247,14 +321,65 @@ func (k *Kernel) Step() bool {
 		return false
 	}
 	ev := heap.Pop(&k.queue).(*Event)
+	if k.haveLastStep {
+		k.hVTDelta.Observe(ev.at.Sub(k.lastStepAt).Seconds())
+	}
+	k.lastStepAt = ev.at
+	k.haveLastStep = true
 	k.now = ev.at
 	k.steps++
 	k.mExecute.Inc()
+	k.handlerCounter(ev.name).Inc()
 	if k.kernelEvents {
 		k.trace.Emit(k.now, CatKernel, "kernel", "execute "+ev.name, obs.Ti("seq", int64(ev.seq)))
 	}
+	// Reinstate the causal context captured at scheduling time, so work
+	// done inside timer callbacks attributes to the episode that armed
+	// the timer.
+	prev := k.cause
+	k.cause = ev.cause
+	k.trace.setAmbient(ev.cause.Span)
 	ev.fn()
+	k.cause = prev
+	k.trace.setAmbient(prev.Span)
 	return true
+}
+
+// handlerCounter returns the profiling counter for an event name's
+// handler class — the name up to the first ':' (host-suffixed schedules
+// like "task:wipe@WS-1" share one series, keeping cardinality bounded at
+// fleet scale). The class is sanitized to the metric charset on first
+// use and the handle cached, so Step pays one short map lookup.
+func (k *Kernel) handlerCounter(name string) *obs.Counter {
+	class := name
+	if i := strings.IndexByte(class, ':'); i >= 0 {
+		class = class[:i]
+	}
+	if c, ok := k.handlerCounters[class]; ok {
+		return c
+	}
+	c := k.metrics.Counter("sim.handler." + sanitizeMetricWord(class) + ".execute")
+	k.handlerCounters[class] = c
+	return c
+}
+
+// sanitizeMetricWord maps an arbitrary event-name class onto the metric
+// charset (lowercase, digits, '.', '_', '-').
+func sanitizeMetricWord(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+		case c >= 'A' && c <= 'Z':
+			b[i] = c + ('a' - 'A')
+		default:
+			b[i] = '-'
+		}
+	}
+	if len(b) == 0 {
+		return "unnamed"
+	}
+	return string(b)
 }
 
 // RunUntil executes events until the queue is empty, the kernel is stopped,

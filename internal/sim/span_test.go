@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestOpenSpanRootAndVectorFallback(t *testing.T) {
+	k := NewKernel()
+	sp := k.OpenSpan(CatInfect, "h1", "installed", "")
+	if sp == 0 {
+		t.Fatal("OpenSpan returned the zero span")
+	}
+	if k.SpanCount() != 1 {
+		t.Fatalf("SpanCount = %d, want 1", k.SpanCount())
+	}
+	events := k.Trace().Events()
+	if len(events) != 1 {
+		t.Fatalf("events = %d, want the opening record", len(events))
+	}
+	e := events[0]
+	if e.Span != sp || e.Parent != 0 {
+		t.Fatalf("opening record span/parent = %d/%d, want %d/0", e.Span, e.Parent, sp)
+	}
+	// No explicit vector, no ambient cause: the root fallback.
+	if v, _ := e.Get("vector"); v != "root" {
+		t.Fatalf("vector = %q, want root", v)
+	}
+}
+
+func TestOpenSpanInheritsAmbientParentAndVector(t *testing.T) {
+	k := NewKernel()
+	root := k.OpenSpan(CatInfect, "h1", "patient zero", "")
+	var child obs.Span
+	k.WithCause(Cause{Span: root, Vector: "usb-lnk"}, func() {
+		child = k.OpenSpan(CatInfect, "h2", "second hop", "")
+	})
+	events := k.Trace().Events()
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	e := events[1]
+	if e.Span != child || e.Parent != root {
+		t.Fatalf("child span/parent = %d/%d, want %d/%d", e.Span, e.Parent, child, root)
+	}
+	if v, _ := e.Get("vector"); v != "usb-lnk" {
+		t.Fatalf("vector = %q, want inherited usb-lnk", v)
+	}
+	// An explicit vector wins over the ambient one.
+	var third obs.Span
+	k.WithCause(Cause{Span: root, Vector: "usb-lnk"}, func() {
+		third = k.OpenSpan(CatExec, "h2", "payload", "keyed-payload")
+	})
+	e = k.Trace().Events()[2]
+	if v, _ := e.Get("vector"); e.Span != third || v != "keyed-payload" {
+		t.Fatalf("explicit vector lost: span=%d vector=%q", e.Span, v)
+	}
+}
+
+func TestAmbientCauseStampsEmits(t *testing.T) {
+	k := NewKernel()
+	sp := k.OpenSpan(CatInfect, "h1", "installed", "")
+	k.WithCause(Cause{Span: sp}, func() {
+		k.Trace().Emit(k.Now(), CatExec, "h1", "in-episode detail")
+	})
+	k.Trace().Emit(k.Now(), CatExec, "h1", "outside")
+	events := k.Trace().Events()
+	if events[1].Span != sp || events[1].Parent != 0 {
+		t.Fatalf("in-episode record span/parent = %d/%d, want %d/0", events[1].Span, events[1].Parent, sp)
+	}
+	if events[2].Span != 0 {
+		t.Fatalf("record outside WithCause carries span %d", events[2].Span)
+	}
+}
+
+func TestScheduleCapturesCauseAcrossTimerHop(t *testing.T) {
+	k := NewKernel()
+	sp := k.OpenSpan(CatInfect, "h1", "installed", "")
+	var fired obs.Span
+	k.WithCause(Cause{Span: sp, Vector: "trigger-timer"}, func() {
+		k.Schedule(time.Hour, "detonate", func() {
+			fired = k.Cause().Span
+			k.Trace().Emit(k.Now(), CatWipe, "h1", "boom")
+		})
+	})
+	// Outside the cause scope now; the hop must restore it inside the
+	// handler only.
+	if k.Cause().Span != 0 {
+		t.Fatal("cause leaked out of WithCause")
+	}
+	k.Drain(100)
+	if fired != sp {
+		t.Fatalf("handler saw span %d, want %d", fired, sp)
+	}
+	events := k.Trace().Events()
+	last := events[len(events)-1]
+	if last.Span != sp {
+		t.Fatalf("scheduled emit span = %d, want %d", last.Span, sp)
+	}
+	if k.Cause().Span != 0 {
+		t.Fatal("cause not restored after Step")
+	}
+}
+
+func TestWithCauseNestsAndRestores(t *testing.T) {
+	k := NewKernel()
+	a := k.OpenSpan(CatInfect, "h1", "a", "")
+	b := k.OpenSpan(CatInfect, "h2", "b", "")
+	k.WithCause(Cause{Span: a}, func() {
+		k.WithCause(Cause{Span: b}, func() {
+			if k.Cause().Span != b {
+				t.Fatalf("inner cause = %d", k.Cause().Span)
+			}
+		})
+		if k.Cause().Span != a {
+			t.Fatalf("outer cause not restored: %d", k.Cause().Span)
+		}
+	})
+	if k.Cause().Span != 0 {
+		t.Fatal("cause not cleared at top level")
+	}
+}
+
+func TestSpanSkeletonSurvivesRingEviction(t *testing.T) {
+	k := NewKernel(WithTraceCapacity(4))
+	root := k.OpenSpan(CatInfect, "h0", "root", "")
+	var child obs.Span
+	k.WithCause(Cause{Span: root, Vector: "psexec"}, func() {
+		child = k.OpenSpan(CatInfect, "h1", "hop", "")
+	})
+	// Flood the ring far past capacity.
+	for i := 0; i < 64; i++ {
+		k.Trace().Emit(k.Now(), CatExec, "noise", "tick")
+	}
+	var sawRoot, sawChild bool
+	for _, e := range k.Trace().Events() {
+		if e.Span == root && e.Parent == 0 {
+			sawRoot = true
+		}
+		if e.Span == child && e.Parent == root {
+			sawChild = true
+		}
+	}
+	if !sawRoot || !sawChild {
+		t.Fatalf("opening records evicted with the ring: root=%v child=%v", sawRoot, sawChild)
+	}
+	// The merged stream must stay seq-sorted.
+	events := k.Trace().Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("merged stream out of seq order at %d", i)
+		}
+	}
+}
+
+func TestMutedTraceStillAllocatesSpans(t *testing.T) {
+	k := NewKernel()
+	k.Trace().SetMuted(true)
+	sp := k.OpenSpan(CatInfect, "h1", "installed", "")
+	if sp != 1 || k.SpanCount() != 1 {
+		t.Fatalf("span=%d count=%d; muted kernels must keep allocation parity", sp, k.SpanCount())
+	}
+	if n := len(k.Trace().Events()); n != 0 {
+		t.Fatalf("muted trace retained %d records", n)
+	}
+}
+
+func TestHandlerProfilingCounters(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(time.Second, "mof:WS-1", func() {})
+	k.Schedule(2*time.Second, "mof:WS-2", func() {})
+	k.Schedule(time.Hour, "beacon", func() {})
+	k.Drain(100)
+	snap := k.Metrics().Snapshot()
+	if got := snap.Counters["sim.handler.mof.execute"]; got != 2 {
+		t.Fatalf("sim.handler.mof.execute = %v, want 2", got)
+	}
+	if got := snap.Counters["sim.handler.beacon.execute"]; got != 1 {
+		t.Fatalf("sim.handler.beacon.execute = %v, want 1", got)
+	}
+	h, ok := snap.Histograms["sim.step.vtdelta-seconds"]
+	if !ok {
+		t.Fatal("vtdelta histogram missing")
+	}
+	// Three steps: deltas 1s, 1s, 3598s observed after the first step.
+	if h.Count != 2 {
+		t.Fatalf("vtdelta count = %d, want 2 (gaps between 3 steps)", h.Count)
+	}
+	if h.Sum != 1+3598 {
+		t.Fatalf("vtdelta sum = %v, want 3599", h.Sum)
+	}
+}
+
+func TestSanitizeMetricWord(t *testing.T) {
+	for in, want := range map[string]string{
+		"mof":          "mof",
+		"Flame Beacon": "flame-beacon",
+		"":             "unnamed",
+		"usb@host":     "usb-host",
+	} {
+		if got := sanitizeMetricWord(in); got != want {
+			t.Fatalf("sanitizeMetricWord(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -35,18 +35,27 @@ const (
 // Record is one structured trace entry: a timestamped, tagged event.
 // Seq is assigned by the owning Trace and, with At, gives records a
 // total order that survives export and concatenation.
+//
+// Span attributes the record to a causal episode (zero = unattributed);
+// Parent is non-zero only on the record that opens the span, where it
+// names the causing span.
 type Record struct {
 	At      time.Time
 	Seq     uint64
 	Cat     Category
 	Actor   string // emitting component, e.g. host name or module name
 	Message string
+	Span    obs.Span
+	Parent  obs.Span
 	Tags    []obs.Tag
 }
 
 // Event converts the record to its export form.
 func (r Record) Event() obs.Event {
-	return obs.Event{At: r.At, Seq: r.Seq, Cat: string(r.Cat), Actor: r.Actor, Msg: r.Message, Tags: r.Tags}
+	return obs.Event{
+		At: r.At, Seq: r.Seq, Cat: string(r.Cat), Actor: r.Actor, Msg: r.Message,
+		Span: r.Span, Parent: r.Parent, Tags: r.Tags,
+	}
 }
 
 func (r Record) String() string {
@@ -56,6 +65,12 @@ func (r Record) String() string {
 // Trace is a bounded ring buffer of Records plus running per-category
 // counters. Counters are never evicted, so fleet-scale runs can rely on
 // counts even after old records rotate out.
+//
+// Span-opening records (the first record of each causal episode, emitted
+// by Kernel.OpenSpan) are additionally retained in an unbounded side
+// index so ring eviction at fleet scale never orphans a provenance
+// parent. Ordinary records are stamped with the ambient span installed
+// by the kernel's causal context.
 type Trace struct {
 	records []Record
 	next    int
@@ -63,6 +78,9 @@ type Trace struct {
 	seq     uint64
 	counts  map[Category]int
 	muted   bool
+
+	ambient obs.Span // stamped onto every Emit/Add record
+	spans   []Record // span-opening records, seq-ascending, never evicted
 }
 
 // NewTrace returns a trace holding at most capacity records.
@@ -90,14 +108,15 @@ func (t *Trace) Add(at time.Time, cat Category, actor, format string, args ...an
 }
 
 // Emit appends a tagged record. The message is taken verbatim; tags are
-// retained in order and appear in JSONL exports.
+// retained in order and appear in JSONL exports. The record is stamped
+// with the ambient causal span (zero when no episode is active).
 func (t *Trace) Emit(at time.Time, cat Category, actor, msg string, tags ...obs.Tag) {
 	t.counts[cat]++
 	t.seq++
 	if t.muted {
 		return
 	}
-	t.records[t.next] = Record{At: at, Seq: t.seq, Cat: cat, Actor: actor, Message: msg, Tags: tags}
+	t.records[t.next] = Record{At: at, Seq: t.seq, Cat: cat, Actor: actor, Message: msg, Span: t.ambient, Tags: tags}
 	t.next++
 	if t.next == len(t.records) {
 		t.next = 0
@@ -105,21 +124,60 @@ func (t *Trace) Emit(at time.Time, cat Category, actor, msg string, tags ...obs.
 	}
 }
 
+// EmitSpan appends the record that opens causal episode span, caused by
+// parent (zero for a root). Opening records are retained in the
+// unbounded span index — not the ring — so provenance reconstruction
+// can always resolve parents even after ring eviction.
+func (t *Trace) EmitSpan(at time.Time, cat Category, actor, msg string, span, parent obs.Span, tags ...obs.Tag) {
+	t.counts[cat]++
+	t.seq++
+	if t.muted {
+		return
+	}
+	t.spans = append(t.spans, Record{
+		At: at, Seq: t.seq, Cat: cat, Actor: actor, Message: msg,
+		Span: span, Parent: parent, Tags: tags,
+	})
+}
+
 // Count returns how many records of the category were ever added.
 func (t *Trace) Count(cat Category) int { return t.counts[cat] }
 
-// Records returns retained records in chronological order.
+// Records returns retained records in chronological order: the ring
+// contents merged with the span index by sequence number.
 func (t *Trace) Records() []Record {
+	var ring []Record
 	if !t.full {
-		out := make([]Record, t.next)
-		copy(out, t.records[:t.next])
+		ring = t.records[:t.next]
+	} else {
+		ring = make([]Record, 0, len(t.records))
+		ring = append(ring, t.records[t.next:]...)
+		ring = append(ring, t.records[:t.next]...)
+	}
+	if len(t.spans) == 0 {
+		out := make([]Record, len(ring))
+		copy(out, ring)
 		return out
 	}
-	out := make([]Record, 0, len(t.records))
-	out = append(out, t.records[t.next:]...)
-	out = append(out, t.records[:t.next]...)
+	// Two-way merge: both slices are seq-ascending.
+	out := make([]Record, 0, len(ring)+len(t.spans))
+	i, j := 0, 0
+	for i < len(ring) && j < len(t.spans) {
+		if ring[i].Seq < t.spans[j].Seq {
+			out = append(out, ring[i])
+			i++
+		} else {
+			out = append(out, t.spans[j])
+			j++
+		}
+	}
+	out = append(out, ring[i:]...)
+	out = append(out, t.spans[j:]...)
 	return out
 }
+
+// setAmbient installs the span stamped onto subsequent Emit/Add records.
+func (t *Trace) setAmbient(s obs.Span) { t.ambient = s }
 
 // Filter returns retained records matching the category, in order.
 func (t *Trace) Filter(cat Category) []Record {

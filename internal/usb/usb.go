@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // File is a plain file stored on the drive.
@@ -43,6 +45,10 @@ type Drive struct {
 	// Insertions counts how many hosts this drive has been inserted into;
 	// Stuxnet limits itself to three infections per drive.
 	Insertions int
+	// OriginSpan is the causal episode that armed this drive with malware
+	// (zero for clean or externally prepared drives). Hosts executing a
+	// payload from the drive attribute the new infection to this span.
+	OriginSpan obs.Span
 }
 
 // NewDrive returns an empty drive.
