@@ -1,7 +1,8 @@
 package repro
 
 // The benchmark harness: one benchmark per paper artefact (Figures 1-6,
-// claims C1-C11, the Section-V taxonomy T1, ablations A1/A2). Each bench
+// claims C1-C11, the Section-V taxonomy T1, ablations A1-A3, extensions
+// E1-E4 and the resilience series R1-R5). Each bench
 // regenerates its experiment end to end and reports the headline paper
 // metric(s) via b.ReportMetric, so
 //
@@ -59,12 +60,12 @@ func benchRunAll(b *testing.B, workers int) {
 	}
 }
 
-// BenchmarkRunAllSequential is the pre-pool baseline: all 25 experiments
+// BenchmarkRunAllSequential is the pre-pool baseline: all 30 experiments
 // on one goroutine. Compare with BenchmarkRunAllParallel on a multi-core
 // box; on a single hardware thread the two are equivalent by design.
 func BenchmarkRunAllSequential(b *testing.B) { benchRunAll(b, 1) }
 
-// BenchmarkRunAllParallel fans the 25 experiments out across GOMAXPROCS
+// BenchmarkRunAllParallel fans the 30 experiments out across GOMAXPROCS
 // workers. Each experiment owns an independent world, so wall clock
 // approaches the heaviest single experiment (C7) as cores are added.
 func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, runtime.GOMAXPROCS(0)) }
@@ -180,4 +181,26 @@ func BenchmarkExtLineage(b *testing.B) {
 
 func BenchmarkExtSinkhole(b *testing.B) {
 	benchExperiment(b, "E4", "sinkhole_checkins_fl", "surviving_types")
+}
+
+// --- Resilience: campaigns under the fault-injection engine ---
+
+func BenchmarkResilienceStuxnetTakedownP2P(b *testing.B) {
+	benchExperiment(b, "R1", "v2_share", "p2p_syncs", "beacon_failovers")
+}
+
+func BenchmarkResilienceFlameDomainAgility(b *testing.B) {
+	benchExperiment(b, "R2", "domains_reregistered", "sinkhole_checkins", "sinkhole_distinct_clients")
+}
+
+func BenchmarkResilienceShamoonBlackout(b *testing.B) {
+	benchExperiment(b, "R3", "infected_hosts", "wiped_hosts", "wipe_reports_home")
+}
+
+func BenchmarkResilienceCrashPersistence(b *testing.B) {
+	benchExperiment(b, "R4", "wave_a_persisted", "wave_b_infected", "crashes")
+}
+
+func BenchmarkResilienceAVAttrition(b *testing.B) {
+	benchExperiment(b, "R5", "files_quarantined", "agents_remediated", "agents_alive")
 }

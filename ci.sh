@@ -19,14 +19,16 @@ go test ./...
 
 # Race lane: prove the parallel runner is race-clean. Each experiment owns
 # an independent world, so these only fail if shared mutable state sneaks
-# into a substrate package.
+# into a substrate package. The Fault|Resilience sweep runs the adversity
+# engine and the R-series under -race across every touched package.
 go test -race -run 'Parallel|Sweep|RaceLane' ./internal/core
-go test -race ./internal/sim ./internal/netsim ./internal/cnc
+go test -race ./internal/sim ./internal/netsim ./internal/cnc ./internal/faults
+go test -race -run 'Fault|Resilience' ./internal/core ./internal/netsim ./internal/cnc ./internal/faults
 
 # Bench lane: compile and run every obs/provenance benchmark once, so a
 # benchmark that rots (or an accidental per-event allocation regression
 # caught by its companion test) fails CI rather than bitrotting.
-go test -bench=. -benchtime=1x -run '^$' ./internal/obs ./internal/provenance
+go test -bench=. -benchtime=1x -run '^$' ./internal/obs ./internal/provenance ./internal/faults
 
 tmp_report=$(mktemp)
 tmp_trace=$(mktemp)
@@ -50,6 +52,18 @@ if ! diff -u examples/provenance/f1-stuxnet.dot "$tmp_dot"; then
     echo "provenance DOT drifted; regenerate with:" >&2
     echo "  go run ./cmd/cyberlab -run F1 -trace f1.jsonl" >&2
     echo "  go run ./cmd/cyberlab trace -in f1.jsonl -dot examples/provenance/f1-stuxnet.dot" >&2
+    exit 1
+fi
+
+# Faults drift gate: the R2 fault-category timeline under the default
+# adversity profile — the committed record of what the engine injects and
+# when — must reproduce byte-for-byte from a fresh run.
+go run ./cmd/cyberlab -run R2 -trace "$tmp_trace" >/dev/null
+go run ./cmd/cyberlab trace -in "$tmp_trace" -cat fault -actor faults >"$tmp_dot" 2>/dev/null
+if ! diff -u examples/faults/r2-fault-timeline.txt "$tmp_dot"; then
+    echo "fault timeline drifted; regenerate with:" >&2
+    echo "  go run ./cmd/cyberlab -run R2 -trace r2.jsonl" >&2
+    echo "  go run ./cmd/cyberlab trace -in r2.jsonl -cat fault -actor faults > examples/faults/r2-fault-timeline.txt" >&2
     exit 1
 fi
 

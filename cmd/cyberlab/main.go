@@ -1,17 +1,24 @@
 // Command cyberlab runs the paper-reproduction experiments: every figure
 // (F1–F6), every quantitative claim (C1–C11), the Section-V trend
-// taxonomy (T1), the ablations (A1–A3) and the extensions (E1–E4). See
-// DESIGN.md for the index.
+// taxonomy (T1), the ablations (A1–A3), the extensions (E1–E4) and the
+// campaign-resilience series (R1–R5) driven by the fault-injection
+// engine. See DESIGN.md for the index.
 //
 // Usage:
 //
 //	cyberlab -list
 //	cyberlab -run F1 [-seed 7]
 //	cyberlab -run F2,F3,C1 [-parallel 2]
+//	cyberlab -run R1..R5 [-faults chaos]
 //	cyberlab -all [-parallel 8] [-trace t.jsonl] [-metrics m.json]
 //	cyberlab -all -seeds 1..16 [-parallel 8]
 //	cyberlab -report [-o EXPERIMENTS.md]
 //	cyberlab trace -in t.jsonl [-cat X] [-actor Y] [-tag k=v] [-chain F1/s3] [-dot out.dot]
+//
+// -faults selects the adversity profile the R-series experiments run
+// under (none, light, takedown, chaos; default takedown). The profile is
+// part of the determinism contract: a fixed seed and profile produce
+// byte-identical reports, traces and metrics at any -parallel width.
 //
 // -parallel fans experiments out across a worker pool; the report, trace
 // and metrics outputs are byte-identical to a sequential run because each
@@ -70,8 +77,12 @@ func run(args []string) error {
 		out        = fs.String("o", "", "also write the report to this file")
 		traceOut   = fs.String("trace", "", "write retained trace events to this file as JSONL")
 		metricsOut = fs.String("metrics", "", "write the merged metrics snapshot to this file as JSON")
+		faultsProf = fs.String("faults", "", "adversity profile for the R-series experiments (none, light, takedown, chaos)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := core.SetFaultProfile(*faultsProf); err != nil {
 		return err
 	}
 	if *parallel < 1 {
@@ -192,11 +203,20 @@ func run(args []string) error {
 }
 
 // parseIDs splits a comma-separated -run value and validates every ID.
+// Same-prefix ranges expand: "R1..R5" means R1,R2,R3,R4,R5.
 func parseIDs(s string) ([]string, error) {
 	var out []string
 	for _, part := range strings.Split(s, ",") {
 		eid := strings.TrimSpace(part)
 		if eid == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(eid, ".."); ok {
+			expanded, err := expandIDRange(strings.TrimSpace(lo), strings.TrimSpace(hi))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, expanded...)
 			continue
 		}
 		if core.Experiments[eid] == nil {
@@ -208,6 +228,38 @@ func parseIDs(s string) ([]string, error) {
 		return nil, fmt.Errorf("-run got no experiment IDs")
 	}
 	return out, nil
+}
+
+// expandIDRange turns "R1","R5" into R1..R5. Both ends must share a
+// letter prefix, and every expanded ID must exist.
+func expandIDRange(lo, hi string) ([]string, error) {
+	loPre, loN, err1 := splitIDNum(lo)
+	hiPre, hiN, err2 := splitIDNum(hi)
+	if err1 != nil || err2 != nil || loPre != hiPre || hiN < loN {
+		return nil, fmt.Errorf("bad -run range %s..%s (want e.g. R1..R5)", lo, hi)
+	}
+	var out []string
+	for n := loN; n <= hiN; n++ {
+		eid := fmt.Sprintf("%s%d", loPre, n)
+		if core.Experiments[eid] == nil {
+			return nil, fmt.Errorf("unknown experiment %q in range %s..%s (try -list)", eid, lo, hi)
+		}
+		out = append(out, eid)
+	}
+	return out, nil
+}
+
+// splitIDNum cuts an experiment ID into its letter prefix and number.
+func splitIDNum(id string) (string, int, error) {
+	i := 0
+	for i < len(id) && (id[i] < '0' || id[i] > '9') {
+		i++
+	}
+	n, err := strconv.Atoi(id[i:])
+	if err != nil || i == 0 {
+		return "", 0, fmt.Errorf("bad experiment ID %q", id)
+	}
+	return id[:i], n, nil
 }
 
 func tally(reports []core.RunReport) (failed, errored int) {

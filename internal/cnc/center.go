@@ -99,6 +99,37 @@ func (o Operator) PushCommand(clientID, name string, payload []byte) {
 	}
 }
 
+// RecoverFromTakedown surveys the pool against live DNS, registers fresh
+// replacement domains for every lost one (same server fleet, new names —
+// the operators' observed response to takedowns), and broadcasts the fresh
+// names as a config:domains package so surviving clients re-expand their
+// lists on next check-in. Returns how many fresh domains were registered.
+func (o Operator) RecoverFromTakedown(in *netsim.Internet) int {
+	lost := 0
+	for _, r := range o.c.Pool.Registrations {
+		if ip, ok := in.Resolve(r.Domain); !ok || ip != r.IP {
+			lost++
+		}
+	}
+	if lost == 0 {
+		return 0
+	}
+	fresh := o.c.Pool.Extend(o.c.K.RNG(), lost)
+	payload := make([]byte, 0, 32*len(fresh))
+	for i, r := range fresh {
+		if i > 0 {
+			payload = append(payload, '\n')
+		}
+		payload = append(payload, r.Domain...)
+		in.RegisterDomain(r.Domain, r.IP)
+	}
+	o.c.K.Metrics().Counter("cnc.domain.reregister").Add(float64(len(fresh)))
+	o.c.K.Trace().Add(o.c.K.Now(), sim.CatC2, "attack-center",
+		"operator re-registered %d replacement domains after takedown", len(fresh))
+	o.PushCommandAll(PkgDomainUpdate, payload)
+	return len(fresh)
+}
+
 // CollectAll downloads unretrieved sealed entries from every server into
 // the attack center. It returns how many entries moved.
 func (o Operator) CollectAll() int {

@@ -77,6 +77,46 @@ func NewDomainPool(rng *sim.RNG, nDomains, nIPs int) *DomainPool {
 	return pool
 }
 
+// Extend registers n fresh domains into the pool — the operators' response
+// to takedowns. The paper's 80-domains-over-22-IPs shape accreted exactly
+// this way: names keep coming from the same generator, while the server
+// fleet stays fixed, so new registrations reuse the existing IPs
+// round-robin. The fresh registrations are returned for DNS registration.
+func (p *DomainPool) Extend(rng *sim.RNG, n int) []Registration {
+	ips := p.IPs()
+	if n <= 0 || len(ips) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool, len(p.Registrations)+n)
+	for _, r := range p.Registrations {
+		seen[r.Domain] = true
+	}
+	fresh := make([]Registration, 0, n)
+	for len(fresh) < n {
+		name := fmt.Sprintf("%s%s%d%s",
+			domainWords[rng.Intn(len(domainWords))],
+			domainWords[rng.Intn(len(domainWords))],
+			rng.Intn(100),
+			domainTLDs[rng.Intn(len(domainTLDs))])
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		i := len(p.Registrations)
+		idx := rng.Intn(len(identities))
+		reg := Registration{
+			Domain:    name,
+			IP:        ips[i%len(ips)],
+			Registrar: registrars[rng.Intn(len(registrars))],
+			Identity:  identities[idx],
+			Country:   countries[idx],
+		}
+		p.Registrations = append(p.Registrations, reg)
+		fresh = append(fresh, reg)
+	}
+	return fresh
+}
+
 // Domains returns all domain names in order.
 func (p *DomainPool) Domains() []string {
 	out := make([]string, len(p.Registrations))

@@ -64,7 +64,7 @@ func TestRaceLaneParallelSweep(t *testing.T) {
 
 func TestRunAllParallelMatchesSequentialFullRun(t *testing.T) {
 	if testing.Short() {
-		t.Skip("full 25-experiment double run skipped in -short mode")
+		t.Skip("full-suite double run skipped in -short mode")
 	}
 	results, err := RunAll(1) // the sequential baseline path
 	if err != nil {

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// The R-series tests run under the default "takedown" profile — the one
+// the committed EXPERIMENTS.md assumes. Tests that switch profiles must
+// restore the default so later tests (and ExperimentIDs-wide sweeps in
+// this package) see the documented schedule.
+
+func restoreDefaultProfile(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		if err := SetFaultProfile(""); err != nil {
+			t.Fatalf("restore default profile: %v", err)
+		}
+	})
+}
+
+func TestResilienceProfileSelection(t *testing.T) {
+	restoreDefaultProfile(t)
+	if err := SetFaultProfile("bogus"); err == nil {
+		t.Fatal("SetFaultProfile(bogus) did not fail")
+	}
+	if FaultProfile().Name != faults.DefaultProfile {
+		t.Fatalf("failed SetFaultProfile mutated the profile to %q", FaultProfile().Name)
+	}
+	if err := SetFaultProfile("chaos"); err != nil {
+		t.Fatalf("SetFaultProfile(chaos): %v", err)
+	}
+	if FaultProfile().Name != "chaos" {
+		t.Fatalf("profile = %q, want chaos", FaultProfile().Name)
+	}
+}
+
+// TestResilienceR1P2PConvergence asserts the acceptance criterion: with
+// both futbol domains seized, ≥90% of the infected fleet must converge on
+// v2 purely over the LAN P2P path, each sync attributed to the takedown.
+func TestResilienceR1P2PConvergence(t *testing.T) {
+	res := runExperiment(t, "R1")
+	if share := res.MustMetric("v2_share"); share < 0.9 {
+		t.Fatalf("v2_share = %g, want >= 0.9", share)
+	}
+	if res.MustMetric("p2p_syncs") == 0 {
+		t.Fatal("no P2P syncs recorded under takedown")
+	}
+	if res.MustMetric("domains_taken_down") != 2 {
+		t.Fatalf("domains_taken_down = %g", res.MustMetric("domains_taken_down"))
+	}
+	// Every p2p sync span's parent must be the takedown intervention.
+	var syncs, attributed int
+	for _, e := range res.Events {
+		if v, _ := e.Get("vector"); v == "p2p-lan" {
+			syncs++
+			if e.Parent != 0 {
+				attributed++
+			}
+		}
+	}
+	if syncs == 0 || attributed != syncs {
+		t.Fatalf("p2p sync attribution: %d/%d spans carry a causal parent", attributed, syncs)
+	}
+}
+
+// TestResilienceR2SinkholeCensus asserts the acceptance criterion: the
+// sinkhole census records check-ins from every surviving client.
+func TestResilienceR2SinkholeCensus(t *testing.T) {
+	res := runExperiment(t, "R2")
+	if res.MustMetric("sinkhole_checkins") == 0 {
+		t.Fatal("sinkhole recorded no check-ins")
+	}
+	if res.MustMetric("sinkhole_distinct_clients") != res.MustMetric("agents_alive") {
+		t.Fatalf("census saw %g clients, %g agents alive",
+			res.MustMetric("sinkhole_distinct_clients"), res.MustMetric("agents_alive"))
+	}
+	if res.MustMetric("domains_reregistered") == 0 {
+		t.Fatal("operators never re-registered replacement domains")
+	}
+}
+
+func TestResilienceR3WipeNeedsNoCnC(t *testing.T) {
+	res := runExperiment(t, "R3")
+	if res.MustMetric("wipe_reports_home") != 0 {
+		t.Fatal("reports crossed a total blackout")
+	}
+	if res.MustMetric("wiped_hosts") != res.MustMetric("infected_hosts") {
+		t.Fatal("blackout recalled the wiper")
+	}
+}
+
+func TestResilienceR4CrashAndPatch(t *testing.T) {
+	res := runExperiment(t, "R4")
+	if res.MustMetric("wave_a_persisted") != res.MustMetric("wave_a_infected") {
+		t.Fatal("crash cycles broke driver/registry persistence")
+	}
+	if res.MustMetric("wave_b_infected") != 0 {
+		t.Fatal("worm crossed the MS10-061 patch gate")
+	}
+}
+
+func TestResilienceR5AVAttrition(t *testing.T) {
+	res := runExperiment(t, "R5")
+	if res.MustMetric("agents_remediated") < 1 {
+		t.Fatal("no agent died to quarantine + reboot")
+	}
+	if res.MustMetric("agents_alive") >= res.MustMetric("agents_start") {
+		t.Fatal("AV attrition killed nobody")
+	}
+}
+
+// TestResilienceBaselineProfile runs the whole series with faults
+// disabled: every experiment must still pass via its baseline branch, and
+// the campaigns must emit zero fault-category interventions.
+func TestResilienceBaselineProfile(t *testing.T) {
+	restoreDefaultProfile(t)
+	if err := SetFaultProfile("none"); err != nil {
+		t.Fatalf("SetFaultProfile(none): %v", err)
+	}
+	for _, id := range []string{"R1", "R2", "R3", "R4", "R5"} {
+		res := runExperiment(t, id)
+		if v, ok := res.Obs.Counters["faults.domain.takedown"]; ok && v > 0 {
+			t.Fatalf("%s: baseline run performed %g takedowns", id, v)
+		}
+	}
+}
+
+// TestResilienceSeriesParallelDeterminism asserts the acceptance
+// criterion: the R-series report, metrics and event stream are
+// byte-identical at any worker count for a fixed seed and profile.
+func TestResilienceSeriesParallelDeterminism(t *testing.T) {
+	ids := []string{"R1", "R2", "R3", "R4", "R5"}
+	serialize := func(reports []RunReport) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		for _, rep := range reports {
+			if rep.Err != nil {
+				t.Fatalf("%s: %v", rep.ID, rep.Err)
+			}
+			buf.WriteString(rep.Result.Render())
+			snap, err := rep.Result.Obs.JSON()
+			if err != nil {
+				t.Fatalf("%s: snapshot: %v", rep.ID, err)
+			}
+			buf.Write(snap)
+			if err := obs.WriteJSONL(&buf, rep.Result.Events); err != nil {
+				t.Fatalf("%s: events: %v", rep.ID, err)
+			}
+		}
+		return buf.Bytes()
+	}
+	want := serialize(RunExperiments(ids, 1, 1))
+	for _, workers := range []int{4, 8} {
+		if got := serialize(RunExperiments(ids, 1, workers)); !bytes.Equal(got, want) {
+			t.Fatalf("R-series output with %d workers differs from sequential run", workers)
+		}
+	}
+}

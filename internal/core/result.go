@@ -178,6 +178,11 @@ var Experiments = map[string]Runner{
 	"E2":  RunE2GaussGodel,
 	"E3":  RunE3Lineage,
 	"E4":  RunE4Sinkhole,
+	"R1":  RunR1StuxnetTakedownP2P,
+	"R2":  RunR2FlameDomainAgility,
+	"R3":  RunR3ShamoonBlackout,
+	"R4":  RunR4CrashPersistence,
+	"R5":  RunR5AVAttrition,
 }
 
 // ExperimentIDs returns all experiment IDs in report order.
@@ -187,6 +192,7 @@ func ExperimentIDs() []string {
 		"C1", "C2", "C3", "C4", "C5", "C6", "C7", "C8", "C9", "C10", "C11",
 		"T1", "A1", "A2", "A3",
 		"E1", "E2", "E3", "E4",
+		"R1", "R2", "R3", "R4", "R5",
 	}
 }
 

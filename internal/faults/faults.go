@@ -1,0 +1,234 @@
+// Package faults is the deterministic adversity engine: scheduled,
+// kernel-driven interventions against a running campaign. It attacks the
+// three substrates the modelled weapons depend on — the network (domain
+// takedowns, NXDOMAIN windows, research sinkholes, LAN packet loss), the
+// hosts (crash/reboot cycles that test persistence, mid-campaign patch
+// rollouts), and the defenders' side (AV remediation sweeps that
+// quarantine known images by content digest).
+//
+// Every intervention opens a root causal span in the `fault` trace
+// category under the "faults" actor, and fallback behaviour in the
+// malware models attributes to that span: the takedown is the provable
+// *cause* of the P2P sync or the re-registration that follows. Faults
+// draw only from the kernel RNG and virtual clock, so the same seed and
+// profile produce the same adversity byte-for-byte at any -parallel
+// width.
+package faults
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/host"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/pe"
+	"repro/internal/sim"
+)
+
+// Actor is the trace actor name for engine-originated events.
+const Actor = "faults"
+
+// Stats counts the interventions an engine performed.
+type Stats struct {
+	Takedowns   int
+	Restores    int
+	Sinkholes   int
+	Impairments int
+	Crashes     int
+	Patches     int // host×bulletin applications
+	Quarantines int // files removed by AV sweeps
+}
+
+// Engine injects faults into one kernel's world.
+type Engine struct {
+	K  *sim.Kernel
+	In *netsim.Internet
+
+	Stats Stats
+}
+
+// NewEngine returns an engine bound to the kernel and internet fabric.
+func NewEngine(k *sim.Kernel, in *netsim.Internet) *Engine {
+	return &Engine{K: k, In: in}
+}
+
+// open starts a root fault span. Interventions are exogenous — they are
+// never caused by campaign activity, so any ambient cause is suppressed.
+func (e *Engine) open(msg, vector string, tags ...obs.Tag) obs.Span {
+	var sp obs.Span
+	e.K.WithCause(sim.Cause{}, func() {
+		sp = e.K.OpenSpan(sim.CatFault, Actor, msg, vector, tags...)
+	})
+	return sp
+}
+
+// --- network faults ---
+
+// TakedownDomain removes a C&C domain from DNS (registrar seizure). The
+// intervention's span becomes the domain's fault span: clients that fall
+// back because of it inherit the takedown as their causal parent.
+func (e *Engine) TakedownDomain(name string) bool {
+	sp := e.open("domain takedown: "+name, "takedown", obs.T("domain", name))
+	if !e.In.Takedown(name, sp) {
+		return false
+	}
+	e.Stats.Takedowns++
+	e.K.Metrics().Counter("faults.domain.takedown").Inc()
+	return true
+}
+
+// RestoreDomain re-binds a taken-down or sinkholed domain to its original
+// address.
+func (e *Engine) RestoreDomain(name string) bool {
+	if !e.In.Restore(name) {
+		return false
+	}
+	e.Stats.Restores++
+	e.K.Metrics().Counter("faults.domain.restore").Inc()
+	e.K.Trace().Emit(e.K.Now(), sim.CatFault, Actor, "domain restored: "+name,
+		obs.T("domain", name))
+	return true
+}
+
+// NXWindow takes a domain down now and schedules its restoration after
+// the window — the temporary-suspension variant of a takedown.
+func (e *Engine) NXWindow(name string, window time.Duration) {
+	if e.TakedownDomain(name) && window > 0 {
+		e.K.Schedule(window, "faults-restore:"+name, func() { e.RestoreDomain(name) })
+	}
+}
+
+// SinkholeDomains binds the research sinkhole and re-points every named
+// domain at it (dead names are re-registered, the way analysts claimed
+// expired C&C domains). Returns how many domains were captured.
+func (e *Engine) SinkholeDomains(names []string, sink *Sinkhole) int {
+	sp := e.open(fmt.Sprintf("sinkhole: %d domains -> %s", len(names), sink.IP),
+		"sinkhole", obs.T("sink", string(sink.IP)))
+	e.In.BindServer(sink.IP, sink)
+	n := 0
+	for _, name := range names {
+		if e.In.SinkholeDomain(name, sink.IP, sp) {
+			n++
+			e.Stats.Sinkholes++
+			e.K.Metrics().Counter("faults.domain.sinkhole").Inc()
+		}
+	}
+	return n
+}
+
+// ImpairLAN applies packet loss and latency to every operation crossing
+// the LAN fabric (loss 1.0 is a total blackout).
+func (e *Engine) ImpairLAN(l *netsim.LAN, imp netsim.Impairment) {
+	e.open(fmt.Sprintf("lan %s impaired: loss=%.2f latency=%s", l.Name, imp.Loss, imp.Latency),
+		"impair", obs.T("lan", l.Name))
+	l.SetImpairment(imp)
+	e.Stats.Impairments++
+	e.K.Metrics().Counter("faults.lan.impair").Inc()
+}
+
+// --- host faults ---
+
+// CrashHost takes a machine down now and schedules its reboot after
+// downtime. Only artefacts with real persistence (registry run keys,
+// boot-start services, on-disk images) survive into the rebooted host;
+// in-memory processes and timers do not.
+func (e *Engine) CrashHost(h *host.Host, downtime time.Duration) bool {
+	if h.Down {
+		return false
+	}
+	sp := e.open("host crash: "+h.Name, "crash", obs.T("host", h.Name))
+	e.K.WithCause(sim.Cause{Span: sp, Vector: "crash"}, func() { h.Crash() })
+	e.Stats.Crashes++
+	if downtime > 0 {
+		e.K.Schedule(downtime, "faults-reboot:"+h.Name, func() {
+			e.K.WithCause(sim.Cause{Span: sp, Vector: "reboot"}, func() { h.Reboot() })
+		})
+	}
+	return true
+}
+
+// StartCrashCycles crashes a Bernoulli(fraction) sample of the fleet every
+// period (fraction >= 1 crashes every machine without drawing the RNG).
+// The returned cancel stops the cycle.
+func (e *Engine) StartCrashCycles(hosts []*host.Host, every time.Duration, fraction float64, downtime time.Duration) func() {
+	return e.K.Every(every, "faults-crash-cycle", func() {
+		for _, h := range hosts {
+			if fraction < 1 && e.K.RNG().Float64() >= fraction {
+				continue
+			}
+			e.CrashHost(h, downtime)
+		}
+	})
+}
+
+// PatchHosts rolls the named bulletins out to the fleet — the
+// mid-campaign "MS10-061 finally got patched" event that closes an
+// exploit gate for everything not yet infected.
+func (e *Engine) PatchHosts(hosts []*host.Host, bulletins ...string) {
+	e.open(fmt.Sprintf("patch rollout: %s to %d hosts", strings.Join(bulletins, "+"), len(hosts)),
+		"patch", obs.T("bulletins", strings.Join(bulletins, "+")))
+	for _, h := range hosts {
+		for _, b := range bulletins {
+			h.ApplyPatch(b)
+		}
+	}
+	e.Stats.Patches += len(hosts) * len(bulletins)
+	e.K.Metrics().Counter("faults.patch.apply").Add(float64(len(hosts) * len(bulletins)))
+}
+
+// --- defender faults ---
+
+// Digests builds the AV signature set: the content digests of the known
+// malware images.
+func Digests(imgs ...*pe.File) map[[32]byte]bool {
+	out := make(map[[32]byte]bool, len(imgs))
+	for _, img := range imgs {
+		out[img.MustDigest()] = true
+	}
+	return out
+}
+
+// AVSweep scans every up host's filesystem and quarantines files whose
+// content parses as a known-malware image. Quarantine removes the file
+// only; a running agent dies at its next reboot when the boot-time
+// persistence check finds the image gone.
+func (e *Engine) AVSweep(hosts []*host.Host, known map[[32]byte]bool) int {
+	sp := e.open(fmt.Sprintf("av remediation sweep: %d hosts", len(hosts)), "av-sweep")
+	total := 0
+	for _, h := range hosts {
+		if h.Down {
+			continue
+		}
+		// Walk is deterministic (sorted paths) but deleting during the
+		// walk would mutate the map under iteration; collect then delete.
+		var doomed []string
+		h.FS.Walk(`C:`, func(f *host.FileNode) bool {
+			if img, err := pe.Parse(f.Data); err == nil {
+				if d, derr := img.Digest(); derr == nil && known[d] {
+					doomed = append(doomed, f.Path)
+				}
+			}
+			return true
+		})
+		for _, path := range doomed {
+			if h.FS.Delete(path) != nil {
+				continue
+			}
+			total++
+			e.Stats.Quarantines++
+			e.K.Metrics().Counter("faults.av.quarantine").Inc()
+			e.K.WithCause(sim.Cause{Span: sp, Vector: "quarantine"}, func() {
+				e.K.Trace().Emit(e.K.Now(), sim.CatFault, h.Name,
+					"av quarantined "+path, obs.T("path", path))
+			})
+		}
+	}
+	return total
+}
+
+// StartAVSweeps runs AVSweep on a period; the returned cancel stops it.
+func (e *Engine) StartAVSweeps(hosts []*host.Host, known map[[32]byte]bool, every time.Duration) func() {
+	return e.K.Every(every, "faults-av-sweep", func() { e.AVSweep(hosts, known) })
+}

@@ -1,0 +1,123 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Profile is a declarative adversity schedule. All times are offsets from
+// the simulation start; a zero value disables that fault family. The same
+// profile applied to the same seed yields the same fault sequence, so
+// every R-series run is reproducible byte-for-byte at any worker count.
+type Profile struct {
+	Name string
+
+	// --- network faults ---
+
+	// TakedownAt removes the campaign's C&C domains from DNS.
+	TakedownAt time.Duration
+	// NXWindow, when non-zero, restores the domains after this long — a
+	// temporary registrar suspension instead of a permanent seizure.
+	NXWindow time.Duration
+	// SinkholeAt re-points the (dead) domains at a research sinkhole that
+	// records every surviving check-in (paper, Section III-B).
+	SinkholeAt time.Duration
+	// LossAt applies LAN-wide packet loss/latency from this offset.
+	LossAt  time.Duration
+	Loss    float64
+	Latency time.Duration
+
+	// --- host faults ---
+
+	// CrashEvery crashes a CrashFraction sample of the fleet on this
+	// period; each machine reboots after Downtime.
+	CrashEvery    time.Duration
+	CrashFraction float64
+	Downtime      time.Duration
+	// PatchAt rolls out the named-bulletin patches mid-campaign.
+	PatchAt time.Duration
+
+	// --- defender faults ---
+
+	// AVStartAt begins periodic AV remediation sweeps that quarantine
+	// known-malware images by content digest.
+	AVStartAt    time.Duration
+	AVSweepEvery time.Duration
+}
+
+// Active reports whether the profile injects any faults at all.
+func (p Profile) Active() bool {
+	return p.TakedownAt > 0 || p.SinkholeAt > 0 || p.LossAt > 0 ||
+		p.CrashEvery > 0 || p.PatchAt > 0 || p.AVStartAt > 0
+}
+
+// Profiles are the named adversity schedules selectable with
+// `cyberlab -faults NAME`.
+var Profiles = map[string]Profile{
+	// none: the undisturbed baseline.
+	"none": {Name: "none"},
+
+	// light: late, temporary interference — a registrar suspension with a
+	// 24 h NXDOMAIN window, mild packet loss, occasional crashes.
+	"light": {
+		Name:       "light",
+		TakedownAt: 96 * time.Hour, NXWindow: 24 * time.Hour,
+		SinkholeAt: 144 * time.Hour,
+		LossAt:     72 * time.Hour, Loss: 0.05,
+		CrashEvery: 48 * time.Hour, CrashFraction: 0.1, Downtime: time.Hour,
+		AVStartAt: 120 * time.Hour, AVSweepEvery: 48 * time.Hour,
+	},
+
+	// takedown: the canonical R-series schedule — permanent domain
+	// seizure at 72 h, research sinkhole at 120 h, total LAN blackout at
+	// 36 h (for the experiments that use LAN impairment), daily crash
+	// cycles, patch rollout alongside the takedown, daily AV sweeps.
+	"takedown": {
+		Name:       "takedown",
+		TakedownAt: 72 * time.Hour,
+		SinkholeAt: 120 * time.Hour,
+		LossAt:     36 * time.Hour, Loss: 1.0,
+		CrashEvery: 24 * time.Hour, CrashFraction: 0.25, Downtime: 2 * time.Hour,
+		PatchAt:   72 * time.Hour,
+		AVStartAt: 96 * time.Hour, AVSweepEvery: 24 * time.Hour,
+	},
+
+	// chaos: everything earlier, harder and noisier — partial loss keeps
+	// the RNG-driven drop path exercised.
+	"chaos": {
+		Name:       "chaos",
+		TakedownAt: 48 * time.Hour,
+		SinkholeAt: 96 * time.Hour,
+		LossAt:     24 * time.Hour, Loss: 0.35, Latency: 5 * time.Minute,
+		CrashEvery: 12 * time.Hour, CrashFraction: 0.4, Downtime: 4 * time.Hour,
+		PatchAt:   48 * time.Hour,
+		AVStartAt: 48 * time.Hour, AVSweepEvery: 12 * time.Hour,
+	},
+}
+
+// DefaultProfile is the schedule the R-series experiments run under when
+// no -faults flag is given (and the one the committed reports assume).
+const DefaultProfile = "takedown"
+
+// Lookup resolves a profile name ("" means DefaultProfile).
+func Lookup(name string) (Profile, error) {
+	if name == "" {
+		name = DefaultProfile
+	}
+	p, ok := Profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("faults: unknown profile %q (have %v)", name, Names())
+	}
+	return p, nil
+}
+
+// Names lists the available profile names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(Profiles))
+	for n := range Profiles {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

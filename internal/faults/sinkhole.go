@@ -1,0 +1,71 @@
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/cnc"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Sinkhole is the research server that captured C&C domains point at
+// (paper, Section III-B): it answers the malware's own protocol with an
+// empty package list — so surviving clients keep polling — while
+// recording a census of who still checks in, from where.
+type Sinkhole struct {
+	K  *sim.Kernel
+	IP netsim.IP
+
+	checkins int
+	clients  map[string]bool
+	byType   map[string]int
+	byDomain map[string]int
+}
+
+// NewSinkhole returns a sinkhole that will answer at ip once bound (see
+// Engine.SinkholeDomains).
+func NewSinkhole(k *sim.Kernel, ip netsim.IP) *Sinkhole {
+	return &Sinkhole{
+		K:        k,
+		IP:       ip,
+		clients:  make(map[string]bool),
+		byType:   make(map[string]int),
+		byDomain: make(map[string]int),
+	}
+}
+
+// ServeSim records the check-in census and keeps the client talking.
+func (s *Sinkhole) ServeSim(req *netsim.Request) *netsim.Response {
+	s.checkins++
+	s.byDomain[req.Host]++
+	client := req.Query["client"]
+	if client != "" {
+		s.clients[client] = true
+	}
+	ctype := req.Query["type"]
+	if ctype != "" {
+		s.byType[ctype]++
+	}
+	s.K.Metrics().Counter("faults.sinkhole.checkin").Inc()
+	s.K.Trace().Emit(s.K.Now(), sim.CatFault, "sinkhole",
+		fmt.Sprintf("sinkhole check-in via %s from %s", req.Host, req.Source),
+		obs.T("sinkhole", string(s.IP)), obs.T("domain", req.Host), obs.T("type", ctype))
+	if req.Query["cmd"] == cnc.CmdGetNews {
+		// A syntactically valid, empty GET_NEWS answer: zero packages.
+		return netsim.OK([]byte{0, 0, 0, 0})
+	}
+	return netsim.OK(nil)
+}
+
+// Checkins returns the total check-ins observed.
+func (s *Sinkhole) Checkins() int { return s.checkins }
+
+// DistinctClients returns how many distinct client IDs checked in.
+func (s *Sinkhole) DistinctClients() int { return len(s.clients) }
+
+// TypeCensus returns check-in counts by client type.
+func (s *Sinkhole) TypeCensus() map[string]int { return s.byType }
+
+// DomainCensus returns check-in counts by captured domain.
+func (s *Sinkhole) DomainCensus() map[string]int { return s.byDomain }

@@ -3,6 +3,7 @@ package host
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -165,6 +166,16 @@ type Host struct {
 	// Wiped is set when destructive malware has destroyed user data.
 	Wiped bool
 
+	// Down marks the machine crashed or powered off: nothing executes and
+	// no LAN operation reaches it until Reboot.
+	Down bool
+	// OnReboot hooks run after a reboot's boot-start services relaunch.
+	// Malware registers persistence checks here: an agent whose on-disk
+	// artefacts were removed discovers at boot that it did not survive.
+	OnReboot []func(*Host)
+	// BootCount counts completed reboots.
+	BootCount int
+
 	// mExec is cached: Execute runs once per process on a 30,000-host
 	// fleet, so it must not pay a registry lookup per call.
 	mExec *obs.Counter
@@ -263,9 +274,67 @@ func (h *Host) AddSecurity(p SecurityProduct) {
 // ErrBlocked is returned when a security product stops an execution.
 var ErrBlocked = errors.New("host: execution blocked by security product")
 
+// ErrHostDown is returned when an operation targets a crashed machine.
+var ErrHostDown = errors.New("host: machine is down")
+
+// Crash powers the host off mid-flight: every process dies and in-memory
+// state (the proxy configuration a WPAD hijack installed) is lost. Disk,
+// registry, installed services and patch state persist — the reboot
+// decides what comes back.
+func (h *Host) Crash() {
+	if h.Down {
+		return
+	}
+	h.Down = true
+	for _, p := range h.procs {
+		p.Alive = false
+	}
+	h.ProxyHost = ""
+	h.K.Metrics().Counter("host.crash").Inc()
+	h.K.Trace().Emit(h.K.Now(), sim.CatFault, h.Name, "crashed: all processes killed",
+		obs.T("host", h.Name))
+}
+
+// Reboot brings a downed host back: boot-start services relaunch from
+// their on-disk images (in sorted name order, so reboots are
+// deterministic), then OnReboot hooks run. Only artefacts persisted via
+// registry, service, or driver survive a crash/reboot cycle — memory-only
+// implants are gone.
+func (h *Host) Reboot() {
+	if !h.Down {
+		return
+	}
+	h.Down = false
+	h.BootCount++
+	h.K.Metrics().Counter("host.reboot").Inc()
+	h.K.Trace().Emit(h.K.Now(), sim.CatFault, h.Name, "rebooted",
+		obs.T("host", h.Name), obs.Ti("boot", int64(h.BootCount)))
+	names := make([]string, 0, len(h.services))
+	for name := range h.services {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := h.services[name]
+		if !s.StartOnBoot {
+			continue
+		}
+		s.Running = false
+		if err := h.StartService(s.Name); err != nil {
+			h.Logf(sim.CatExec, "scm", "boot-start service %s failed: %v", s.Name, err)
+		}
+	}
+	for _, hook := range h.OnReboot {
+		hook(h)
+	}
+}
+
 // Execute scans img with the installed security products and, if clean,
 // spawns a process and hands it to the dispatcher.
 func (h *Host) Execute(img *pe.File, system bool) (*Process, error) {
+	if h.Down {
+		return nil, fmt.Errorf("%w: %s", ErrHostDown, h.Name)
+	}
 	if img.Machine == pe.MachineX64 && h.Arch != pe.MachineX64 {
 		return nil, fmt.Errorf("host: cannot execute %s image %q on %s host %s", img.Machine, img.Name, h.Arch, h.Name)
 	}

@@ -1,0 +1,91 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// counterVal reads a registry counter without creating histogram noise.
+func counterVal(in *Internet, name string) float64 {
+	return in.K.Metrics().Counter(name).Value()
+}
+
+// TestFaultDispatchErrCounters pins the dispatch failure audit: every
+// failed Dispatch increments net.dispatch.err plus exactly one per-cause
+// counter, and successes increment neither.
+func TestFaultDispatchErrCounters(t *testing.T) {
+	in := NewInternet(testKernel())
+	in.RegisterDomain("dead.example", "203.0.113.1") // resolves, no server
+	in.RegisterDomain("live.example", "203.0.113.2")
+	in.BindServer("203.0.113.2", echoServer())
+
+	if _, err := in.Dispatch(&Request{Host: "gone.example"}); !errors.Is(err, ErrNXDomain) {
+		t.Fatalf("err = %v, want ErrNXDomain", err)
+	}
+	if _, err := in.Dispatch(&Request{Host: "dead.example"}); !errors.Is(err, ErrNoSuchServer) {
+		t.Fatalf("err = %v, want ErrNoSuchServer", err)
+	}
+	if _, err := in.Dispatch(&Request{Host: "live.example"}); err != nil {
+		t.Fatalf("live dispatch: %v", err)
+	}
+
+	if got := counterVal(in, "net.dispatch.err"); got != 2 {
+		t.Fatalf("net.dispatch.err = %g, want 2", got)
+	}
+	if got := counterVal(in, "net.dispatch.err.nxdomain"); got != 1 {
+		t.Fatalf("net.dispatch.err.nxdomain = %g, want 1", got)
+	}
+	if got := counterVal(in, "net.dispatch.err.noserver"); got != 1 {
+		t.Fatalf("net.dispatch.err.noserver = %g, want 1", got)
+	}
+	if got := counterVal(in, "internet.request.dispatch"); got != 1 {
+		t.Fatalf("internet.request.dispatch = %g, want 1", got)
+	}
+}
+
+// TestFaultDomainBookkeeping pins the fault table lifecycle the adversity
+// engine depends on: takedown remembers the original binding, a sinkhole
+// can claim the dead name, and restore rebinds the original IP — not the
+// sink.
+func TestFaultDomainBookkeeping(t *testing.T) {
+	k := testKernel()
+	in := NewInternet(k)
+	in.RegisterDomain("c2.example", "203.0.113.9")
+	in.BindServer("203.0.113.9", echoServer())
+
+	sp := k.OpenSpan(sim.CatFault, "test", "takedown", "takedown")
+	if !in.Takedown("c2.example", sp) {
+		t.Fatal("Takedown failed")
+	}
+	if in.Takedown("c2.example", sp) {
+		t.Fatal("double takedown succeeded")
+	}
+	if in.FaultSpan("c2.example") != sp || in.FaultMode("c2.example") != "takedown" {
+		t.Fatalf("fault record = %v %q", in.FaultSpan("c2.example"), in.FaultMode("c2.example"))
+	}
+
+	sink := IP("198.51.100.9")
+	in.BindServer(sink, echoServer())
+	sp2 := k.OpenSpan(sim.CatFault, "test", "sinkhole", "sinkhole")
+	if !in.SinkholeDomain("c2.example", sink, sp2) {
+		t.Fatal("sinkhole of a taken-down name failed")
+	}
+	if ip, _ := in.Resolve("c2.example"); ip != sink {
+		t.Fatalf("resolved to %s, want sink", ip)
+	}
+	if in.FaultMode("c2.example") != "sinkhole" || in.FaultSpan("c2.example") != sp2 {
+		t.Fatalf("fault record after sinkhole = %q %v", in.FaultMode("c2.example"), in.FaultSpan("c2.example"))
+	}
+
+	if !in.Restore("c2.example") {
+		t.Fatal("Restore failed")
+	}
+	if ip, ok := in.Resolve("c2.example"); !ok || ip != "203.0.113.9" {
+		t.Fatalf("restored binding = %s %v, want original IP", ip, ok)
+	}
+	if in.SinkholeDomain("unknown.example", sink, sp2) {
+		t.Fatal("sinkhole of a never-registered name succeeded")
+	}
+}

@@ -78,9 +78,24 @@ type Internet struct {
 	// catchAll, when set, resolves every unknown name — the sandbox
 	// sinkhole configuration (INetSim-style).
 	catchAll IP
+	// faults remembers adversity-engine interventions per domain so
+	// Restore can undo them and clients can attribute fallback behaviour
+	// to the intervention's causal span.
+	faults map[string]*domainFault
 
 	mDispatch *obs.Counter
 	hBytes    *obs.Histogram
+	mErr      *obs.Counter
+	mErrNX    *obs.Counter
+	mErrNoSrv *obs.Counter
+}
+
+// domainFault is one live intervention against a domain name.
+type domainFault struct {
+	prevIP     IP
+	registered bool // the name resolved in DNS before the fault
+	mode       string
+	span       obs.Span
 }
 
 // SetCatchAll makes every unknown name resolve to ip (empty disables).
@@ -92,8 +107,12 @@ func NewInternet(k *sim.Kernel) *Internet {
 		K:         k,
 		dns:       make(map[string]IP),
 		servers:   make(map[IP]Handler),
+		faults:    make(map[string]*domainFault),
 		mDispatch: k.Metrics().Counter("internet.request.dispatch"),
 		hBytes:    k.Metrics().Histogram("internet.request.bytes", obs.ByteBuckets),
+		mErr:      k.Metrics().Counter("net.dispatch.err"),
+		mErrNX:    k.Metrics().Counter("net.dispatch.err.nxdomain"),
+		mErrNoSrv: k.Metrics().Counter("net.dispatch.err.noserver"),
 	}
 }
 
@@ -153,13 +172,19 @@ func (in *Internet) UnbindServer(ip IP) {
 }
 
 // Dispatch resolves req.Host and delivers the request to the bound server.
+// Failures are counted (net.dispatch.err plus a per-cause counter) so
+// takedown windows show up in metrics output, not just as client errors.
 func (in *Internet) Dispatch(req *Request) (*Response, error) {
 	ip, ok := in.Resolve(req.Host)
 	if !ok {
+		in.mErr.Inc()
+		in.mErrNX.Inc()
 		return nil, fmt.Errorf("%w: %s", ErrNXDomain, req.Host)
 	}
 	srv, ok := in.servers[ip]
 	if !ok {
+		in.mErr.Inc()
+		in.mErrNoSrv.Inc()
 		return nil, fmt.Errorf("%w: %s (%s)", ErrNoSuchServer, ip, req.Host)
 	}
 	in.mDispatch.Inc()
@@ -168,6 +193,80 @@ func (in *Internet) Dispatch(req *Request) (*Response, error) {
 		fmt.Sprintf("%s http://%s%s (%d bytes)", req.Method, req.Host, req.Path, len(req.Body)),
 		obs.T("dest", req.Host), obs.Ti("bytes", int64(len(req.Body))))
 	return srv.ServeSim(req), nil
+}
+
+// --- domain faults (the adversity engine's network substrate) ---
+
+// Takedown removes name from DNS, remembering its previous binding for
+// Restore. The span is the causal episode of the intervention: clients
+// that fall back because of it attribute their fallback to this span
+// (via FaultSpan). Returns false when the name never resolved.
+func (in *Internet) Takedown(name string, span obs.Span) bool {
+	prev, ok := in.dns[name]
+	if !ok {
+		return false
+	}
+	if f := in.faults[name]; f != nil {
+		f.mode = "takedown"
+		f.span = span
+	} else {
+		in.faults[name] = &domainFault{prevIP: prev, registered: true, mode: "takedown", span: span}
+	}
+	delete(in.dns, name)
+	return true
+}
+
+// SinkholeDomain repoints name at sink — the researcher/registrar
+// sinkhole move. Names that were already taken down (expired) are
+// re-registered at the sink, matching how real sinkholes claimed dead
+// C&C domains. Returns false only when the name was never registered
+// and is not under a recorded fault.
+func (in *Internet) SinkholeDomain(name string, sink IP, span obs.Span) bool {
+	prev, had := in.dns[name]
+	f := in.faults[name]
+	if !had && f == nil {
+		return false
+	}
+	if f != nil {
+		f.mode = "sinkhole"
+		f.span = span
+	} else {
+		in.faults[name] = &domainFault{prevIP: prev, registered: true, mode: "sinkhole", span: span}
+	}
+	in.dns[name] = sink
+	return true
+}
+
+// Restore undoes a Takedown/SinkholeDomain, re-binding the original IP.
+func (in *Internet) Restore(name string) bool {
+	f, ok := in.faults[name]
+	if !ok {
+		return false
+	}
+	delete(in.faults, name)
+	if f.registered {
+		in.dns[name] = f.prevIP
+	} else {
+		delete(in.dns, name)
+	}
+	return true
+}
+
+// FaultSpan returns the causal span of the live fault on name (zero when
+// the name is healthy). Fallback paths use it as their parent cause.
+func (in *Internet) FaultSpan(name string) obs.Span {
+	if f, ok := in.faults[name]; ok {
+		return f.span
+	}
+	return 0
+}
+
+// FaultMode returns "takedown", "sinkhole", or "" for a healthy name.
+func (in *Internet) FaultMode(name string) string {
+	if f, ok := in.faults[name]; ok {
+		return f.mode
+	}
+	return ""
 }
 
 // Reachable reports whether name currently resolves to a live server — the

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/host"
 	"repro/internal/obs"
@@ -51,9 +52,49 @@ type LAN struct {
 	sortedNames []string
 	peersBuf    []*host.Host
 
+	// impair is the segment's current degradation (see SetImpairment).
+	impair Impairment
+
 	// Cached metric handles; the SMB/psexec paths run once per peer per
 	// spread round at fleet scale.
-	mAttach, mSMBCopy, mPsexec, mSpooler, mWPAD, mARP, mProxied *obs.Counter
+	mAttach, mSMBCopy, mPsexec, mSpooler, mWPAD, mARP, mProxied, mDrop *obs.Counter
+}
+
+// Impairment degrades a LAN segment: Loss is the probability one
+// operation (HTTP, SMB probe/copy, psexec, spooler print job) is dropped;
+// Latency is added to store-and-forward deliveries such as the spooler's
+// MOF-launch delay. The zero value is a healthy segment.
+type Impairment struct {
+	Loss    float64
+	Latency time.Duration
+}
+
+// ErrPacketLoss is returned when an impaired segment drops an operation.
+var ErrPacketLoss = errors.New("netsim: packet lost (LAN impaired)")
+
+// SetImpairment applies imp to the segment (zero value restores health).
+func (l *LAN) SetImpairment(imp Impairment) { l.impair = imp }
+
+// Impairment returns the segment's current degradation.
+func (l *LAN) Impairment() Impairment { return l.impair }
+
+// dropped decides one operation's fate under the current impairment. It
+// is RNG-neutral at the extremes: Loss <= 0 never draws and never drops,
+// Loss >= 1 never draws and always drops — so baseline worlds and
+// total-blackout worlds consume identical RNG streams and stay
+// byte-identical with their unimpaired twins.
+func (l *LAN) dropped(op, from string) bool {
+	p := l.impair.Loss
+	if p <= 0 {
+		return false
+	}
+	if p < 1 && l.K.RNG().Float64() >= p {
+		return false
+	}
+	l.mDrop.Inc()
+	l.K.Trace().Emit(l.K.Now(), sim.CatFault, from, "packet loss: "+op+" dropped",
+		obs.T("op", op))
+	return true
 }
 
 // NewLAN creates a LAN. uplink may be nil for air-gapped segments.
@@ -72,6 +113,7 @@ func NewLAN(k *sim.Kernel, name, subnet string, uplink *Internet) *LAN {
 		mWPAD:    m.Counter("lan.wpad.answer"),
 		mARP:     m.Counter("lan.arp.poison"),
 		mProxied: m.Counter("lan.http.proxied"),
+		mDrop:    m.Counter("lan.impair.drop"),
 	}
 }
 
@@ -137,8 +179,14 @@ func (l *LAN) Peers(name string) []*host.Host {
 // connectivity and an uplink.
 func (l *LAN) HTTP(from *host.Host, req *Request) (*Response, error) {
 	req.Source = from.Name
+	if from.Down {
+		return nil, fmt.Errorf("%w: %s", host.ErrHostDown, from.Name)
+	}
+	if l.dropped("http", from.Name) {
+		return nil, fmt.Errorf("%w: %s -> %s", ErrPacketLoss, from.Name, req.Host)
+	}
 	if from.ProxyHost != "" {
-		if proxy := l.Node(from.ProxyHost); proxy != nil && proxy.Proxy != nil {
+		if proxy := l.Node(from.ProxyHost); proxy != nil && proxy.Proxy != nil && !proxy.Host.Down {
 			l.mProxied.Inc()
 			l.K.Trace().Emit(l.K.Now(), sim.CatNetwork, from.Name,
 				fmt.Sprintf("proxied via %s: %s http://%s%s", from.ProxyHost, req.Method, req.Host, req.Path),
@@ -166,7 +214,7 @@ func (l *LAN) HTTP(from *host.Host, req *Request) (*Response, error) {
 func (l *LAN) WPADQuery(from *host.Host) (string, bool) {
 	for _, name := range l.sortedNodeNames() {
 		n := l.nodes[name]
-		if n.Host == from || n.WPADResponder == nil {
+		if n.Host == from || n.WPADResponder == nil || n.Host.Down {
 			continue
 		}
 		if proxyHost, ok := n.WPADResponder(from); ok {
@@ -233,18 +281,33 @@ var (
 // ShareAccessible models the open/close probe Shamoon performs before
 // copying itself: it succeeds when the target exposes open shares.
 func (l *LAN) ShareAccessible(from *host.Host, target string) bool {
+	if from.Down {
+		return false
+	}
 	n := l.Node(target)
-	return n != nil && n.Host.SharesOpen
+	if n == nil || !n.Host.SharesOpen || n.Host.Down {
+		return false
+	}
+	return !l.dropped("smb-probe", from.Name)
 }
 
 // CopyToShare writes data into the target's filesystem over SMB.
 func (l *LAN) CopyToShare(from *host.Host, target, remotePath string, data []byte) error {
+	if from.Down {
+		return fmt.Errorf("%w: %s", host.ErrHostDown, from.Name)
+	}
 	n := l.Node(target)
 	if n == nil {
 		return fmt.Errorf("%w: %s", ErrNoSuchHost, target)
 	}
+	if n.Host.Down {
+		return fmt.Errorf("%w: %s", host.ErrHostDown, target)
+	}
 	if !n.Host.SharesOpen {
 		return fmt.Errorf("%w: %s", ErrShareClosed, target)
+	}
+	if l.dropped("smb-copy", from.Name) {
+		return fmt.Errorf("%w: smb copy to %s", ErrPacketLoss, target)
 	}
 	l.mSMBCopy.Inc()
 	l.K.Trace().Emit(l.K.Now(), sim.CatSpread, from.Name,
@@ -256,12 +319,21 @@ func (l *LAN) CopyToShare(from *host.Host, target, remotePath string, data []byt
 // RemoteExec launches an executable already present on the target (the
 // psexec step of Shamoon's spread). It requires open shares.
 func (l *LAN) RemoteExec(from *host.Host, target, remotePath string) error {
+	if from.Down {
+		return fmt.Errorf("%w: %s", host.ErrHostDown, from.Name)
+	}
 	n := l.Node(target)
 	if n == nil {
 		return fmt.Errorf("%w: %s", ErrNoSuchHost, target)
 	}
+	if n.Host.Down {
+		return fmt.Errorf("%w: %s", host.ErrHostDown, target)
+	}
 	if !n.Host.SharesOpen {
 		return fmt.Errorf("%w: %s", ErrShareClosed, target)
+	}
+	if l.dropped("psexec", from.Name) {
+		return fmt.Errorf("%w: psexec on %s", ErrPacketLoss, target)
 	}
 	l.mPsexec.Inc()
 	l.K.Trace().Emit(l.K.Now(), sim.CatSpread, from.Name,
@@ -290,16 +362,25 @@ const (
 // and a dropper — after which MOF event processing launches the dropper.
 // It fails when the target has sharing off or the bulletin installed.
 func (l *LAN) SpoolerExploit(from *host.Host, target string, dropper *pe.File) error {
+	if from.Down {
+		return fmt.Errorf("%w: %s", host.ErrHostDown, from.Name)
+	}
 	n := l.Node(target)
 	if n == nil {
 		return fmt.Errorf("%w: %s", ErrNoSuchHost, target)
 	}
 	t := n.Host
+	if t.Down {
+		return fmt.Errorf("%w: %s", host.ErrHostDown, target)
+	}
 	if !t.SharesOpen {
 		return fmt.Errorf("%w: %s", ErrShareClosed, target)
 	}
 	if t.Patched(MS10_061) {
 		return fmt.Errorf("netsim: %s rejected crafted print request (%s installed)", target, MS10_061)
+	}
+	if l.dropped("spooler", from.Name) {
+		return fmt.Errorf("%w: print job to %s", ErrPacketLoss, target)
 	}
 	raw, err := dropper.Marshal()
 	if err != nil {
@@ -319,12 +400,29 @@ func (l *LAN) SpoolerExploit(from *host.Host, target string, dropper *pe.File) e
 	// dropper shortly after. The schedule is wrapped in a spooler-vector
 	// cause so the infection the dropper produces attributes to the
 	// attacking episode across the timer hop.
+	// An impaired segment's Latency delays the store-and-forward hop.
 	l.K.WithCause(sim.Cause{Span: l.K.Cause().Span, Vector: "spooler"}, func() {
-		l.K.Schedule(0, "mof:"+target, func() {
+		l.K.Schedule(l.impair.Latency, "mof:"+target, func() {
 			if _, err := t.ExecuteFile(spoolerDropper, true); err != nil {
 				t.Logf(sim.CatExec, "wmi", "mof-launched dropper failed: %v", err)
 			}
 		})
 	})
+	return nil
+}
+
+// LinkOK models one peer-to-peer datagram on the segment: both endpoints
+// must be up and the exchange must survive the impairment draw. Stuxnet's
+// P2P update path probes it before syncing from a peer.
+func (l *LAN) LinkOK(from, to *host.Host) error {
+	if from.Down {
+		return fmt.Errorf("%w: %s", host.ErrHostDown, from.Name)
+	}
+	if to.Down {
+		return fmt.Errorf("%w: %s", host.ErrHostDown, to.Name)
+	}
+	if l.dropped("p2p", from.Name) {
+		return fmt.Errorf("%w: %s -> %s", ErrPacketLoss, from.Name, to.Name)
+	}
 	return nil
 }

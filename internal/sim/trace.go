@@ -29,6 +29,7 @@ const (
 	CatSuicide   Category = "suicide"   // self-removal
 	CatBluetooth Category = "bluetooth" // bluetooth activity
 	CatUSB       Category = "usb"       // removable media activity
+	CatFault     Category = "fault"     // injected adversity (takedown, crash, sweep)
 	CatKernel    Category = "kernel"    // scheduler internals (WithKernelEvents)
 )
 
