@@ -128,6 +128,23 @@ func BenchmarkClaimC7AramcoScale(b *testing.B) {
 	benchExperiment(b, "C7", "fleet_size", "wiped_unbootable")
 }
 
+// BenchmarkClaimC7Reduced is the 2,000-workstation slice of C7 that the
+// ci.sh bench lane runs with -benchmem: small enough for CI, large enough
+// that the fleet-scale allocation profile (document seeding, image drops,
+// timer churn) dominates. BENCH_C7.json records its trajectory.
+func BenchmarkClaimC7Reduced(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunAramcoScaleN(uint64(1+i), 2000, 0, false)
+		if err != nil {
+			b.Fatalf("C7 reduced: %v", err)
+		}
+		if !res.Pass {
+			b.Fatalf("C7 reduced did not reproduce:\n%s", res.Render())
+		}
+	}
+}
+
 func BenchmarkClaimC8JPEGBug(b *testing.B) {
 	benchExperiment(b, "C8", "buggy_overwrite_bytes")
 }

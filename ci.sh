@@ -30,6 +30,22 @@ go test -race -run 'Fault|Resilience' ./internal/core ./internal/netsim ./intern
 # caught by its companion test) fails CI rather than bitrotting.
 go test -bench=. -benchtime=1x -run '^$' ./internal/obs ./internal/provenance ./internal/faults
 
+# Fleet-perf lane (DESIGN.md §9): run the seed / event / C7 benchmarks
+# with -benchmem, fold them into BENCH_C7.json's "after" snapshot via
+# benchjson, and gate the perf trajectory. Two gates run: the committed
+# file must already parse with the required snapshot contents, and the
+# fresh measurement must keep the C7-reduced bytes/op win at >= 2x the
+# frozen baseline (B/op is deterministic; ns/op is allowed to vary).
+bench_req='SeedDocumentsEager,ScheduleFire,ScheduleCancel,ClaimC7Reduced,ClaimC7AramcoScale'
+go run ./cmd/benchjson -check BENCH_C7.json -require "$bench_req" -min-bytes-ratio ClaimC7Reduced=2
+tmp_bench=$(mktemp)
+go test -run '^$' -bench 'SeedDocuments|CheckWipeLazy' -benchmem ./internal/host | tee -a "$tmp_bench"
+go test -run '^$' -bench 'ScheduleFire|ScheduleCancel' -benchtime=0.2s -benchmem ./internal/sim | tee -a "$tmp_bench"
+go test -run '^$' -bench 'ClaimC7Reduced|ClaimC7AramcoScale' -benchtime=1x -benchmem . | tee -a "$tmp_bench"
+go run ./cmd/benchjson -o BENCH_C7.json -label after \
+    -require "$bench_req" -min-bytes-ratio ClaimC7Reduced=2 < "$tmp_bench"
+rm -f "$tmp_bench"
+
 tmp_report=$(mktemp)
 tmp_trace=$(mktemp)
 tmp_dot=$(mktemp)

@@ -30,6 +30,9 @@
 // tagged exp=<ID>); -metrics writes the merged obs snapshot as JSON.
 // -report renders EXPERIMENTS.md from the live run, making the committed
 // document a reproducible build artefact (ci.sh fails on drift).
+// -cpuprofile and -memprofile write pprof profiles of whatever the
+// invocation ran; both paths are validated up front so a typo fails
+// before the experiments burn wall clock.
 //
 // The trace subcommand reads a `-trace` JSONL export back and
 // reconstructs the causal provenance forest: who infected whom, over
@@ -45,6 +48,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -78,6 +83,8 @@ func run(args []string) error {
 		traceOut   = fs.String("trace", "", "write retained trace events to this file as JSONL")
 		metricsOut = fs.String("metrics", "", "write the merged metrics snapshot to this file as JSON")
 		faultsProf = fs.String("faults", "", "adversity profile for the R-series experiments (none, light, takedown, chaos)")
+		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProf    = fs.String("memprofile", "", "write a heap profile to this file when the run finishes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,10 +99,39 @@ func run(args []string) error {
 	// clock, not minutes later at write time.
 	for _, o := range []struct{ flag, path string }{
 		{"-o", *out}, {"-trace", *traceOut}, {"-metrics", *metricsOut},
+		{"-cpuprofile", *cpuProf}, {"-memprofile", *memProf},
 	} {
 		if err := validateOutPath(o.flag, o.path); err != nil {
 			return err
 		}
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cyberlab: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cyberlab: -memprofile:", err)
+			}
+		}()
 	}
 	var report strings.Builder
 	emit := func(format string, a ...any) {

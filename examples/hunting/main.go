@@ -48,7 +48,7 @@ func main() {
 	hits := 0
 	for _, h := range sc.Hosts {
 		if f, err := h.FS.Read(`C:\Windows\System32\trksvr.exe`); err == nil {
-			if img, err := pe.Parse(f.Data); err == nil {
+			if img, err := pe.Parse(f.Bytes()); err == nil {
 				raw, _ := img.Marshal()
 				if len(rules.ScanNames(raw)) > 0 {
 					hits++

@@ -366,6 +366,14 @@ func RunC7AramcoScale(seed uint64) (*Result, error) {
 }
 
 func runAramcoScale(seed uint64, fleet int) (*Result, error) {
+	return RunAramcoScaleN(seed, fleet, 0, false)
+}
+
+// RunAramcoScaleN is the C7 runner with its fleet size, build-worker
+// count, and seeding mode exposed. Reports are byte-identical across any
+// workers value and across eager/lazy seeding — the property the
+// determinism tests and the bench lane pin.
+func RunAramcoScaleN(seed uint64, fleet, workers int, eagerDocs bool) (*Result, error) {
 	start := shamoon.AramcoTrigger.Add(-24 * time.Hour)
 	w, err := NewWorld(WorldConfig{Seed: seed, Start: start, MuteTrace: true})
 	if err != nil {
@@ -376,6 +384,8 @@ func runAramcoScale(seed uint64, fleet int) (*Result, error) {
 		DocsPerHost:  2,
 		SpreadEvery:  2 * time.Hour,
 		LeanImages:   true,
+		BuildWorkers: workers,
+		EagerDocs:    eagerDocs,
 	})
 	if err != nil {
 		return nil, err

@@ -63,10 +63,16 @@ func RunR1StuxnetTakedownP2P(seed uint64) (*Result, error) {
 		}))
 	}
 	const fleet = 10
-	hosts := make([]*host.Host, 0, fleet)
-	for i := 0; i < fleet; i++ {
-		hosts = append(hosts, w.AddHost(lan, fmt.Sprintf("FAC-%02d", i+1),
-			host.WithOS(host.Win7), host.WithShares(true), host.WithInternet(true)))
+	specs := make([]HostSpec, fleet)
+	for i := range specs {
+		specs[i] = HostSpec{
+			Name: fmt.Sprintf("FAC-%02d", i+1),
+			Opts: []host.Option{host.WithOS(host.Win7), host.WithShares(true), host.WithInternet(true)},
+		}
+	}
+	hosts, err := w.AddHostsSharded(lan, 0, specs)
+	if err != nil {
+		return nil, err
 	}
 	if _, err := hosts[0].Execute(sx.MainImage, true); err != nil {
 		return nil, fmt.Errorf("infect patient zero: %w", err)
@@ -317,10 +323,19 @@ func RunR4CrashPersistence(seed uint64) (*Result, error) {
 	sx.BindTo(w.Registry)
 
 	const waveACount, waveBCount = 7, 6
-	waveA := make([]*host.Host, 0, waveACount)
-	for i := 0; i < waveACount; i++ {
-		waveA = append(waveA, w.AddHost(lan, fmt.Sprintf("WAVEA-%02d", i+1),
-			host.WithOS(host.Win7), host.WithShares(true)))
+	waveSpecs := func(prefix string, n int) []HostSpec {
+		specs := make([]HostSpec, n)
+		for i := range specs {
+			specs[i] = HostSpec{
+				Name: fmt.Sprintf("%s-%02d", prefix, i+1),
+				Opts: []host.Option{host.WithOS(host.Win7), host.WithShares(true)},
+			}
+		}
+		return specs
+	}
+	waveA, err := w.AddHostsSharded(lan, 0, waveSpecs("WAVEA", waveACount))
+	if err != nil {
+		return nil, err
 	}
 	if _, err := waveA[0].Execute(sx.MainImage, true); err != nil {
 		return nil, err
@@ -334,11 +349,13 @@ func RunR4CrashPersistence(seed uint64) (*Result, error) {
 	if patchAt == 0 {
 		patchAt = 72 * time.Hour
 	}
-	waveB := make([]*host.Host, 0, waveBCount)
+	var waveB []*host.Host
 	w.K.Schedule(patchAt+24*time.Hour, "r4-wave-b", func() {
-		for i := 0; i < waveBCount; i++ {
-			waveB = append(waveB, w.AddHost(lan, fmt.Sprintf("WAVEB-%02d", i+1),
-				host.WithOS(host.Win7), host.WithShares(true)))
+		// Sharded build mid-run is safe: the kernel is inside this event,
+		// and workers only read shared state.
+		waveB, err = w.AddHostsSharded(lan, 0, waveSpecs("WAVEB", waveBCount))
+		if err != nil {
+			return
 		}
 		if prof.Active() && prof.PatchAt > 0 {
 			// The rollout closed the spooler gate before these machines
@@ -347,6 +364,9 @@ func RunR4CrashPersistence(seed uint64) (*Result, error) {
 		}
 	})
 	if err := w.K.RunFor(7 * 24 * time.Hour); err != nil {
+		return nil, err
+	}
+	if err != nil { // wave-B build failure inside the timer event
 		return nil, err
 	}
 

@@ -229,6 +229,13 @@ type AramcoOptions struct {
 	LeanImages   bool // small code bulk for fleet-scale runs
 	JPEGBug      *bool
 	MaxPerSweep  int // bound on new victims per host per spread round
+	// BuildWorkers sizes the sharded fleet-construction pool (0 =
+	// GOMAXPROCS). Any value produces byte-identical worlds.
+	BuildWorkers int
+	// EagerDocs seeds document bytes eagerly instead of lazily; the modes
+	// are byte-equivalent (DESIGN.md §9) and this exists for the
+	// equivalence tests.
+	EagerDocs bool
 }
 
 // BuildAramco assembles the scenario on an existing world. Patient zero is
@@ -272,11 +279,22 @@ func BuildAramco(w *World, opts AramcoOptions) (*AramcoScenario, error) {
 	if opts.LeanImages {
 		docBytes = 3 * 1024
 	}
-	for i := 0; i < opts.Workstations; i++ {
-		h := w.AddHost(sc.LAN, fmt.Sprintf("WS-%05d", i+1),
-			host.WithDomain("ARAMCO"), host.WithShares(true), host.WithInternet(true))
-		h.SeedDocumentsSized("emp", opts.DocsPerHost, docBytes)
-		sc.Hosts = append(sc.Hosts, h)
+	specs := make([]HostSpec, opts.Workstations)
+	for i := range specs {
+		specs[i] = HostSpec{
+			Name: fmt.Sprintf("WS-%05d", i+1),
+			Opts: []host.Option{host.WithDomain("ARAMCO"), host.WithShares(true),
+				host.WithInternet(true), host.WithEagerDocs(opts.EagerDocs)},
+			Seed: func(h *host.Host) error {
+				if _, failed := h.SeedDocumentsSized("emp", opts.DocsPerHost, docBytes); failed != 0 {
+					return fmt.Errorf("%d documents failed to seed", failed)
+				}
+				return nil
+			},
+		}
+	}
+	if sc.Hosts, err = w.AddHostsSharded(sc.LAN, opts.BuildWorkers, specs); err != nil {
+		return nil, err
 	}
 	sc.Patient0 = sc.Hosts[0]
 	if _, err := sc.Patient0.Execute(sh.MainImage, true); err != nil {

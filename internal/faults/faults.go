@@ -205,7 +205,12 @@ func (e *Engine) AVSweep(hosts []*host.Host, known map[[32]byte]bool) int {
 		// walk would mutate the map under iteration; collect then delete.
 		var doomed []string
 		h.FS.Walk(`C:`, func(f *host.FileNode) bool {
-			if img, err := pe.Parse(f.Data); err == nil {
+			// Peek at the magic first: a sweep must not materialise every
+			// lazy user document just to learn it is not an SPE image.
+			if p := f.Prefix(len(pe.Magic)); len(p) < len(pe.Magic) || string(p) != string(pe.Magic[:]) {
+				return true
+			}
+			if img, err := pe.Parse(f.Bytes()); err == nil {
 				if d, derr := img.Digest(); derr == nil && known[d] {
 					doomed = append(doomed, f.Path)
 				}

@@ -1,0 +1,203 @@
+package host
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// newPair builds two hosts with identical RNG streams, one lazy (the
+// default) and one eager, for equivalence checks.
+func newPair() (lazy, eager *Host) {
+	lazy = New(sim.NewKernel(sim.WithSeed(77)), "WS")
+	eager = New(sim.NewKernel(sim.WithSeed(77)), "WS", WithEagerDocs(true))
+	return lazy, eager
+}
+
+// TestLazyEagerByteEquality is the §9 contract: reading every lazily
+// seeded document observes exactly the bytes eager seeding would have
+// written, and both modes leave the host RNG at the same stream position.
+func TestLazyEagerByteEquality(t *testing.T) {
+	lazyHost, eagerHost := newPair()
+	lt, lf := lazyHost.SeedDocumentsSized("u", 40, 16*1024)
+	et, ef := eagerHost.SeedDocumentsSized("u", 40, 16*1024)
+	if lt != et || lf != 0 || ef != 0 {
+		t.Fatalf("seeding diverged: lazy (%d,%d) vs eager (%d,%d)", lt, lf, et, ef)
+	}
+	if l, e := lazyHost.RNG.State(), eagerHost.RNG.State(); l != e {
+		t.Fatalf("RNG stream position diverged: lazy %#x vs eager %#x", l, e)
+	}
+	checked := 0
+	lazyHost.FS.Walk(`C:\Users`, func(f *FileNode) bool {
+		ef, err := eagerHost.FS.Read(f.Path)
+		if err != nil {
+			t.Fatalf("eager host missing %s", f.Path)
+		}
+		if !bytes.Equal(f.Bytes(), ef.Bytes()) {
+			t.Fatalf("content mismatch at %s", f.Path)
+		}
+		checked++
+		return true
+	})
+	if checked != 40 {
+		t.Fatalf("checked %d docs, want 40", checked)
+	}
+}
+
+// TestLazyPrefixMatchesBytes pins prefix-stability of docTransform: Prefix
+// must equal the head of the full generation, without materialising.
+func TestLazyPrefixMatchesBytes(t *testing.T) {
+	h := New(sim.NewKernel(sim.WithSeed(5)), "WS")
+	h.SeedDocumentsSized("u", 10, 8*1024)
+	h.FS.Walk(`C:\Users`, func(f *FileNode) bool {
+		p := append([]byte(nil), f.Prefix(16)...)
+		if f.Materialized() {
+			t.Fatalf("Prefix materialised %s", f.Path)
+		}
+		if !bytes.Equal(p, f.Bytes()[:16]) {
+			t.Fatalf("prefix of %s diverges from full content", f.Path)
+		}
+		return true
+	})
+}
+
+// TestWriteAfterLazyRead covers the replace-content path: overwriting a
+// document that was read lazily must stick, and re-reads see the new
+// bytes.
+func TestWriteAfterLazyRead(t *testing.T) {
+	h := New(sim.NewKernel(), "WS")
+	h.SeedDocumentsSized("u", 1, 4096)
+	var path string
+	h.FS.Walk(`C:\Users`, func(f *FileNode) bool { path = f.Path; return false })
+	f, _ := h.FS.Read(path)
+	_ = f.Bytes() // materialise
+	if err := h.FS.Write(path, []byte("overwritten"), 0, h.K.Now()); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	got, _ := h.FS.Read(path)
+	if string(got.Bytes()) != "overwritten" {
+		t.Fatalf("content = %q", got.Bytes())
+	}
+}
+
+// TestWipeAfterSeedWithoutMaterializing is the C7 memory story end to end:
+// Shamoon-style wiping (replace content, check the two-byte artefact)
+// never needs the seeded bytes, so nothing materialises.
+func TestWipeAfterSeedWithoutMaterializing(t *testing.T) {
+	h := New(sim.NewKernel(), "WS")
+	h.SeedDocumentsSized("emp", 20, 4096)
+	// Overwrite every doc with a JPEG fragment, as the buggy wiper does.
+	frag := []byte{0xFF, 0xD8, 0xFF, 0xE0}
+	h.FS.Walk(`C:\Users`, func(f *FileNode) bool {
+		if f.Materialized() {
+			t.Fatalf("doc %s materialised before any read", f.Path)
+		}
+		return true
+	})
+	var paths []string
+	h.FS.Walk(`C:\Users`, func(f *FileNode) bool { paths = append(paths, f.Path); return true })
+	for _, p := range paths {
+		if err := h.FS.Write(p, frag, 0, h.K.Now()); err != nil {
+			t.Fatalf("wipe %s: %v", p, err)
+		}
+	}
+	check := h.CheckWipe()
+	if check.FilesWiped != 20 {
+		t.Fatalf("FilesWiped = %d, want 20", check.FilesWiped)
+	}
+}
+
+// TestCheckWipeDoesNotMaterialize: the artefact scan peeks two bytes; an
+// unwiped fleet's documents must stay unmaterialised afterwards.
+func TestCheckWipeDoesNotMaterialize(t *testing.T) {
+	h := New(sim.NewKernel(), "WS")
+	h.SeedDocumentsSized("u", 15, 4096)
+	if got := h.CheckWipe().FilesWiped; got != 0 {
+		t.Fatalf("FilesWiped = %d on fresh host", got)
+	}
+	h.FS.Walk(`C:\Users`, func(f *FileNode) bool {
+		if f.Materialized() {
+			t.Fatalf("CheckWipe materialised %s", f.Path)
+		}
+		return true
+	})
+}
+
+// TestWalkOverUnmaterializedNodes: metadata iteration (paths, sizes,
+// extensions, totals) is free of content generation.
+func TestWalkOverUnmaterializedNodes(t *testing.T) {
+	h := New(sim.NewKernel(), "WS")
+	total, _ := h.SeedDocumentsSized("u", 25, 4096)
+	var sum int64
+	h.FS.Walk(`C:\Users`, func(f *FileNode) bool {
+		sum += int64(f.Size())
+		_ = f.Ext()
+		return true
+	})
+	if sum != total {
+		t.Fatalf("size sum %d != seeded total %d", sum, total)
+	}
+	if h.FS.TotalBytes() < total {
+		t.Fatalf("TotalBytes %d < seeded %d", h.FS.TotalBytes(), total)
+	}
+	h.FS.Walk(`C:\Users`, func(f *FileNode) bool {
+		if f.Materialized() {
+			t.Fatalf("walk materialised %s", f.Path)
+		}
+		return true
+	})
+}
+
+// TestSharedContentCopyOnWrite: two nodes aliasing one shared buffer must
+// not observe each other's mutations, and the backing buffer stays
+// pristine.
+func TestSharedContentCopyOnWrite(t *testing.T) {
+	fs := NewFS()
+	image := []byte("SPE1-shared-malware-image")
+	fs.WriteShared(`C:\a.exe`, image, 0, t0)
+	fs.WriteShared(`C:\b.exe`, image, 0, t0)
+	fa, _ := fs.Read(`C:\a.exe`)
+	fb, _ := fs.Read(`C:\b.exe`)
+	ma := fa.MutableBytes()
+	ma[0] = 'X'
+	if image[0] != 'S' {
+		t.Fatal("MutableBytes mutated the shared backing buffer")
+	}
+	if fb.Bytes()[0] != 'S' {
+		t.Fatal("mutation leaked across shared nodes")
+	}
+	if fa.Bytes()[0] != 'X' {
+		t.Fatal("mutation did not stick on the owning node")
+	}
+}
+
+// TestMutableBytesOnLazyNode: COW over a lazy node materialises once and
+// then owns the buffer.
+func TestMutableBytesOnLazyNode(t *testing.T) {
+	fs := NewFS()
+	lc := LazyContent{Seed: 42, Len: 64, Doc: true}
+	fs.WriteLazy(`C:\doc.txt`, lc, 0, t0)
+	want := lc.Generate()
+	f, _ := fs.Read(`C:\doc.txt`)
+	m := f.MutableBytes()
+	if !bytes.Equal(m, want) {
+		t.Fatal("MutableBytes on lazy node generated wrong content")
+	}
+	m[0] = '!'
+	if f.Bytes()[0] != '!' {
+		t.Fatal("mutation lost after COW materialisation")
+	}
+}
+
+// TestLazyDocNeverStartsWithJPEGMagic pins the CheckWipe soundness
+// argument: docTransform forces byte 0 into 'a'..'z', so an untouched
+// document can never be counted as wiped.
+func TestLazyDocNeverStartsWithJPEGMagic(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		p := LazyContent{Seed: seed, Len: 2, Doc: true}.generatePrefix(2)
+		if p[0] < 'a' || p[0] > 'z' {
+			t.Fatalf("seed %d: first byte %#x outside transform range", seed, p[0])
+		}
+	}
+}

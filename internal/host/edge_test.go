@@ -139,7 +139,7 @@ func TestBrowserProfileRoundTrip(t *testing.T) {
 		t.Fatalf("SeedBrowserProfile: %v", err)
 	}
 	f, err := h.FS.Read(BrowserProfilePath("ali"))
-	if err != nil || string(f.Data) != "bank.example|a|p\n" {
-		t.Fatalf("profile = %v %q", err, f.Data)
+	if err != nil || string(f.Bytes()) != "bank.example|a|p\n" {
+		t.Fatalf("profile = %v %q", err, f.Bytes())
 	}
 }

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/sim"
 )
 
 // FileAttr is a bitmask of Windows-style file attributes.
@@ -19,16 +21,117 @@ const (
 	AttrReadOnly
 )
 
-// FileNode is one file in a simulated filesystem.
-type FileNode struct {
-	Path    string // original-case cleaned path
-	Data    []byte
-	Attr    FileAttr
-	ModTime time.Time
+// LazyContent describes file content that can be generated on demand: a
+// captured RNG stream position, a length, and whether the printable-
+// document transform applies. Generation is a pure function of the
+// descriptor, so a lazy file read observes exactly the bytes an eager
+// write at seeding time would have stored (DESIGN.md §9).
+type LazyContent struct {
+	Seed uint64 // sim RNG state the content stream starts from
+	Len  int    // content length in bytes
+	Doc  bool   // apply the printable-document transform
 }
 
-// Size returns the file length in bytes.
-func (f *FileNode) Size() int { return len(f.Data) }
+// Generate materialises the full content.
+func (lc LazyContent) Generate() []byte {
+	data := sim.NewRNG(lc.Seed).Bytes(lc.Len)
+	if lc.Doc {
+		docTransform(data)
+	}
+	return data
+}
+
+// generatePrefix materialises only the first n bytes (n is clamped to
+// Len). Wipe-artefact checks need two bytes of 30,000 hosts' documents;
+// generating whole files for that would forfeit laziness.
+func (lc LazyContent) generatePrefix(n int) []byte {
+	if n > lc.Len {
+		n = lc.Len
+	}
+	data := sim.NewRNG(lc.Seed).Bytes(n)
+	if lc.Doc {
+		docTransform(data)
+	}
+	return data
+}
+
+// docTransform makes generated content partially printable so strings
+// extraction and entropy analysis see document-like structure. It is
+// prefix-stable: transforming the first n bytes of a stream equals the
+// first n bytes of the transformed stream.
+func docTransform(data []byte) {
+	for j := 0; j < len(data); j += 2 {
+		data[j] = byte('a' + int(data[j])%26)
+	}
+}
+
+// FileNode is one file in a simulated filesystem. Content lives in one of
+// three states:
+//
+//   - owned: data holds bytes this node owns (the classic eager write);
+//   - shared: data aliases an immutable buffer owned elsewhere (a
+//     malware image cache); it is copied on first mutation;
+//   - lazy: content has not been generated yet; a LazyContent descriptor
+//     produces it deterministically on first read.
+//
+// Readers use Bytes (or Prefix for a cheap peek); writers that mutate in
+// place use MutableBytes. Replacing content goes through FS.Write as
+// always.
+type FileNode struct {
+	Path    string // original-case cleaned path
+	Attr    FileAttr
+	ModTime time.Time
+
+	data   []byte
+	shared bool
+	lazy   *LazyContent
+}
+
+// Bytes returns the file content, generating it on first read if the
+// node is lazy. Callers must treat the result as read-only: it may alias
+// a buffer shared across the whole fleet. Use MutableBytes to mutate.
+func (f *FileNode) Bytes() []byte {
+	if f.lazy != nil {
+		f.data = f.lazy.Generate()
+		f.lazy = nil
+	}
+	return f.data
+}
+
+// MutableBytes returns content this node exclusively owns, materialising
+// lazy content and copying shared content first (the copy-on-write step).
+func (f *FileNode) MutableBytes() []byte {
+	b := f.Bytes()
+	if f.shared {
+		b = append([]byte(nil), b...)
+		f.data = b
+		f.shared = false
+	}
+	return b
+}
+
+// Prefix returns the first n bytes of the content (fewer if the file is
+// shorter) without materialising or caching a lazy node's full content.
+func (f *FileNode) Prefix(n int) []byte {
+	if f.lazy != nil {
+		return f.lazy.generatePrefix(n)
+	}
+	if n > len(f.data) {
+		n = len(f.data)
+	}
+	return f.data[:n]
+}
+
+// Materialized reports whether the content bytes exist in memory.
+func (f *FileNode) Materialized() bool { return f.lazy == nil }
+
+// Size returns the file length in bytes. It never materialises content.
+func (f *FileNode) Size() int {
+	if f.lazy != nil {
+		return f.lazy.Len
+	}
+	return len(f.data)
+}
 
 // Ext returns the lower-case extension without the dot ("docx"), or "".
 func (f *FileNode) Ext() string {
@@ -87,19 +190,47 @@ var (
 	ErrReadOnly = errors.New("host: file is read-only")
 )
 
-// Write creates or replaces a file. Parent directories are created
-// implicitly. Read-only files refuse replacement.
-func (fs *FS) Write(path string, data []byte, attr FileAttr, modTime time.Time) error {
+// put replaces the node at path (honouring the read-only refusal) and
+// registers parent directories.
+func (fs *FS) put(path string, node *FileNode) error {
 	clean := CleanPath(path)
 	key := fsKey(clean)
 	if existing, ok := fs.files[key]; ok && existing.Attr&AttrReadOnly != 0 {
 		return fmt.Errorf("%w: %s", ErrReadOnly, clean)
 	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
-	fs.files[key] = &FileNode{Path: clean, Data: cp, Attr: attr, ModTime: modTime}
+	node.Path = clean
+	fs.files[key] = node
 	fs.mkParents(clean)
 	return nil
+}
+
+// Write creates or replaces a file. Parent directories are created
+// implicitly. Read-only files refuse replacement. The data is copied, so
+// the caller keeps ownership of its slice.
+func (fs *FS) Write(path string, data []byte, attr FileAttr, modTime time.Time) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return fs.put(path, &FileNode{data: cp, Attr: attr, ModTime: modTime})
+}
+
+// WriteShared creates or replaces a file whose content aliases data
+// without copying. The caller promises the buffer is immutable for the
+// rest of the run — the contract malware image caches satisfy, letting a
+// 30,000-host fleet hold one copy of each dropped image. In-place
+// mutation through MutableBytes copies first, so sharers never observe
+// each other.
+func (fs *FS) WriteShared(path string, data []byte, attr FileAttr, modTime time.Time) error {
+	return fs.put(path, &FileNode{data: data, shared: true, Attr: attr, ModTime: modTime})
+}
+
+// WriteLazy creates or replaces a file whose content is generated from
+// the descriptor on first read. Until then the node costs only its
+// metadata, which is what makes fleet-scale document seeding cheap.
+func (fs *FS) WriteLazy(path string, lc LazyContent, attr FileAttr, modTime time.Time) error {
+	if lc.Len < 0 {
+		return fmt.Errorf("host: negative lazy content length %d for %s", lc.Len, path)
+	}
+	return fs.put(path, &FileNode{lazy: &lc, Attr: attr, ModTime: modTime})
 }
 
 func (fs *FS) mkParents(clean string) {
@@ -237,7 +368,7 @@ func (fs *FS) FileCount() int { return len(fs.files) }
 func (fs *FS) TotalBytes() int64 {
 	var n int64
 	for _, f := range fs.files {
-		n += int64(len(f.Data))
+		n += int64(f.Size())
 	}
 	return n
 }

@@ -19,7 +19,7 @@ func TestFSWriteReadCaseInsensitive(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Read: %v", err)
 	}
-	if !bytes.Equal(f.Data, []byte("body")) || f.Attr&AttrHidden == 0 {
+	if !bytes.Equal(f.Bytes(), []byte("body")) || f.Attr&AttrHidden == 0 {
 		t.Fatalf("file = %+v", f)
 	}
 	if f.Path != `C:\Windows\System32\NetInit.exe` {
@@ -67,7 +67,7 @@ func TestFSReadOnlyRefusesOverwrite(t *testing.T) {
 		t.Fatalf("err = %v, want ErrReadOnly", err)
 	}
 	f, _ := fs.Read(`C:\locked.sys`)
-	if string(f.Data) != "orig" {
+	if string(f.Bytes()) != "orig" {
 		t.Fatal("read-only file was modified")
 	}
 }
@@ -84,8 +84,8 @@ func TestFSRename(t *testing.T) {
 		t.Fatal("old path still exists")
 	}
 	moved, err := fs.Read(`C:\Step7\s7otbxsx.dll`)
-	if err != nil || !bytes.Equal(moved.Data, orig) {
-		t.Fatalf("moved file wrong: %v %q", err, moved.Data)
+	if err != nil || !bytes.Equal(moved.Bytes(), orig) {
+		t.Fatalf("moved file wrong: %v %q", err, moved.Bytes())
 	}
 	fs.Write(`C:\Step7\s7otbxdx.dll`, []byte("trojanized"), 0, t0)
 	if fs.FileCount() != 2 {
@@ -191,7 +191,7 @@ func TestFSWriteCopiesData(t *testing.T) {
 	fs.Write(`C:\x`, data, 0, t0)
 	data[0] = 'X'
 	f, _ := fs.Read(`C:\x`)
-	if f.Data[0] != 'm' {
+	if f.Bytes()[0] != 'm' {
 		t.Fatal("FS aliases caller's slice")
 	}
 }

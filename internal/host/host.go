@@ -166,6 +166,12 @@ type Host struct {
 	// Wiped is set when destructive malware has destroyed user data.
 	Wiped bool
 
+	// EagerDocs makes SeedDocumentsSized materialise document bytes at
+	// seeding time instead of lazily on first read. The two modes are
+	// byte-equivalent (DESIGN.md §9); eager mode exists for the
+	// equivalence tests and for memory-insensitive scenarios.
+	EagerDocs bool
+
 	// Down marks the machine crashed or powered off: nothing executes and
 	// no LAN operation reaches it until Reboot.
 	Down bool
@@ -217,6 +223,15 @@ func WithPatches(ids ...string) Option {
 // WithHardware sets peripheral availability.
 func WithHardware(hw Hardware) Option { return func(h *Host) { h.Hardware = hw } }
 
+// WithRNG installs a pre-derived RNG stream instead of forking one from
+// the kernel. Sharded fleet builders use it to hand host i the stream
+// ForkAt(i) derives, so construction order (and worker count) cannot
+// perturb per-host randomness.
+func WithRNG(r *sim.RNG) Option { return func(h *Host) { h.RNG = r } }
+
+// WithEagerDocs makes the host seed documents eagerly (see Host.EagerDocs).
+func WithEagerDocs(v bool) Option { return func(h *Host) { h.EagerDocs = v } }
+
 // New creates a host attached to the kernel.
 func New(k *sim.Kernel, name string, opts ...Option) *Host {
 	h := &Host{
@@ -224,7 +239,6 @@ func New(k *sim.Kernel, name string, opts ...Option) *Host {
 		OS:        Win7,
 		Arch:      pe.MachineX86,
 		K:         k,
-		RNG:       k.RNG().Fork(),
 		Disk:      NewDisk(1 << 21), // 1 GiB of 512-byte sectors
 		FS:        NewFS(),
 		Registry:  NewRegistry(),
@@ -238,6 +252,11 @@ func New(k *sim.Kernel, name string, opts ...Option) *Host {
 	}
 	for _, opt := range opts {
 		opt(h)
+	}
+	// Fork only when no option supplied a stream: WithRNG hosts must not
+	// draw from (or race on) the kernel RNG during sharded construction.
+	if h.RNG == nil {
+		h.RNG = k.RNG().Fork()
 	}
 	return h
 }
@@ -368,7 +387,7 @@ func (h *Host) ExecuteFile(path string, system bool) (*Process, error) {
 	if err != nil {
 		return nil, err
 	}
-	img, err := pe.Parse(f.Data)
+	img, err := pe.Parse(f.Bytes())
 	if err != nil {
 		return nil, fmt.Errorf("execute %s: %w", path, err)
 	}

@@ -329,9 +329,9 @@ func TestBrowseWithoutDrive(t *testing.T) {
 func TestSeedDocumentsAndCheckWipe(t *testing.T) {
 	k := testKernel()
 	h := New(k, "WS-001")
-	total := h.SeedDocuments("ali", 50)
-	if total <= 0 || h.FS.FileCount() < 50 {
-		t.Fatalf("seeded %d bytes, %d files", total, h.FS.FileCount())
+	total, failed := h.SeedDocuments("ali", 50)
+	if total <= 0 || failed != 0 || h.FS.FileCount() < 50 {
+		t.Fatalf("seeded %d bytes (%d failed), %d files", total, failed, h.FS.FileCount())
 	}
 	check := h.CheckWipe()
 	if check.FilesWiped != 0 || !check.Bootable || !check.MBRIntact || check.WipedMarker {

@@ -15,35 +15,53 @@ var UserFolders = []string{"download", "document", "picture", "music", "video", 
 
 // SeedDocuments populates the host with n synthetic user documents spread
 // across the standard profile folders, sized 1–64 KiB, for collection and
-// wiping experiments. It returns the total bytes written.
-func (h *Host) SeedDocuments(user string, n int) int64 {
+// wiping experiments. It returns the total bytes seeded and the number of
+// documents that could not be written (path collisions with read-only
+// files — zero on a freshly built host).
+func (h *Host) SeedDocuments(user string, n int) (int64, int) {
 	return h.SeedDocumentsSized(user, n, 64*1024)
 }
 
 // SeedDocumentsSized is SeedDocuments with a maximum document size —
 // fleet-scale scenarios use small documents to keep tens of thousands of
 // hosts cheap.
-func (h *Host) SeedDocumentsSized(user string, n, maxBytes int) int64 {
+//
+// By default documents are seeded lazily: each file records the RNG stream
+// position its content starts from, and the host RNG skips over exactly the
+// draws an eager seeding would have consumed. The parent stream therefore
+// stays byte-identical to eager mode, and a later read generates exactly
+// the bytes an eager write would have stored (DESIGN.md §9). Hosts built
+// with WithEagerDocs materialise the bytes at seeding time instead.
+func (h *Host) SeedDocumentsSized(user string, n, maxBytes int) (int64, int) {
 	if maxBytes < 2048 {
 		maxBytes = 2048
 	}
 	var total int64
+	failed := 0
 	for i := 0; i < n; i++ {
 		folder := UserFolders[h.RNG.Intn(len(UserFolders))]
 		ext := docExtensions[h.RNG.Intn(len(docExtensions))]
 		size := 1024 + h.RNG.Intn(maxBytes-1024)
 		path := fmt.Sprintf(`C:\Users\%s\%ss\report-%04d.%s`, user, folder, i, ext)
-		data := h.RNG.Bytes(size)
-		// Make the content partially printable so strings extraction and
-		// entropy analysis see document-like structure.
-		for j := 0; j < len(data); j += 2 {
-			data[j] = byte('a' + int(data[j])%26)
+		var err error
+		if h.EagerDocs {
+			data := h.RNG.Bytes(size)
+			docTransform(data)
+			err = h.FS.Write(path, data, 0, h.K.Now())
+		} else {
+			lc := LazyContent{Seed: h.RNG.State(), Len: size, Doc: true}
+			// Consume the same number of draws Bytes(size) would, so the
+			// stream position after seeding matches eager mode exactly.
+			h.RNG.Skip((size + 7) / 8)
+			err = h.FS.WriteLazy(path, lc, 0, h.K.Now())
 		}
-		if err := h.FS.Write(path, data, 0, h.K.Now()); err == nil {
-			total += int64(size)
+		if err != nil {
+			failed++
+			continue
 		}
+		total += int64(size)
 	}
-	return total
+	return total, failed
 }
 
 // BrowserLogin is one stored browser credential.
@@ -79,13 +97,16 @@ type WipeCheck struct {
 
 // CheckWipe inspects the host after a destructive attack: how many user
 // files now begin with the JPEG magic (the Shamoon overwrite artefact),
-// whether the MBR survived, and whether the host still boots.
+// whether the MBR survived, and whether the host still boots. Prefix keeps
+// the scan from materialising lazy documents — a never-touched lazy doc
+// cannot start with 0xFF 0xD8 (docTransform forces byte 0 into 'a'..'z'),
+// and a wiped one was rewritten eagerly by the wiper.
 func (h *Host) CheckWipe() WipeCheck {
 	out := WipeCheck{Host: h.Name, WipedMarker: h.Wiped, Bootable: h.Bootable()}
 	_, err := h.Disk.ReadMBR()
 	out.MBRIntact = err == nil
 	h.FS.Walk(`C:\Users`, func(f *FileNode) bool {
-		if len(f.Data) >= 2 && f.Data[0] == 0xFF && f.Data[1] == 0xD8 {
+		if p := f.Prefix(2); len(p) == 2 && p[0] == 0xFF && p[1] == 0xD8 {
 			out.FilesWiped++
 		}
 		return true

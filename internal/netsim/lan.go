@@ -291,7 +291,12 @@ func (l *LAN) ShareAccessible(from *host.Host, target string) bool {
 	return !l.dropped("smb-probe", from.Name)
 }
 
-// CopyToShare writes data into the target's filesystem over SMB.
+// CopyToShare writes data into the target's filesystem over SMB. The
+// target's file aliases data without copying, so the caller must not
+// mutate the buffer afterwards — spread loops hand the same marshalled
+// image to thousands of peers, and one copy per peer was a dominant term
+// in fleet-scale memory (DESIGN.md §9). Mutation on the receiving host
+// goes through the filesystem's copy-on-write path.
 func (l *LAN) CopyToShare(from *host.Host, target, remotePath string, data []byte) error {
 	if from.Down {
 		return fmt.Errorf("%w: %s", host.ErrHostDown, from.Name)
@@ -313,7 +318,7 @@ func (l *LAN) CopyToShare(from *host.Host, target, remotePath string, data []byt
 	l.K.Trace().Emit(l.K.Now(), sim.CatSpread, from.Name,
 		fmt.Sprintf("smb copy to \\\\%s%s (%d bytes)", target, remotePath, len(data)),
 		obs.T("target", target), obs.Ti("bytes", int64(len(data))))
-	return n.Host.FS.Write(remotePath, data, 0, l.K.Now())
+	return n.Host.FS.WriteShared(remotePath, data, 0, l.K.Now())
 }
 
 // RemoteExec launches an executable already present on the target (the

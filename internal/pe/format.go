@@ -113,6 +113,7 @@ func (f *File) Marshal() ([]byte, error) {
 		return nil, err
 	}
 	var b bytes.Buffer
+	b.Grow(f.marshalledSize())
 	b.Write(Magic[:])
 	writeU16(&b, uint16(f.Machine))
 	writeU16(&b, 0) // flags, reserved
@@ -147,6 +148,31 @@ func (f *File) Marshal() ([]byte, error) {
 		return nil, fmt.Errorf("pe: image %q exceeds %d bytes", f.Name, maxTotalLen)
 	}
 	return b.Bytes(), nil
+}
+
+// marshalledSize computes the exact encoded length so Marshal can size its
+// buffer once. Growing incrementally doubled through every resource-laden
+// image and dominated fleet-scale infection allocations.
+func (f *File) marshalledSize() int {
+	n := 4 + 2 + 2 + 8 + 4 // magic, machine, flags, timestamp, entry
+	n += 1 + len(f.Name)
+	n += 2
+	for _, s := range f.Sections {
+		n += 1 + len(s.Name) + 4 + 4 + len(s.Data)
+	}
+	n += 2
+	for _, imp := range f.Imports {
+		n += 1 + len(imp.Library) + 2
+		for _, fn := range imp.Functions {
+			n += 1 + len(fn)
+		}
+	}
+	n += 2
+	for _, r := range f.Resources {
+		n += 2 + 4 + len(r.Raw)
+	}
+	n += 4 + len(f.SigBlob)
+	return n
 }
 
 func (f *File) validate() error {

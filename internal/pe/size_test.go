@@ -1,0 +1,32 @@
+package pe
+
+import "testing"
+
+// TestMarshalledSizeExact pins the pre-sizing arithmetic: the buffer Grow
+// in Marshal must match the encoded length exactly, or fleet-scale
+// marshalling either re-grows (slow) or over-reserves (wasteful).
+func TestMarshalledSizeExact(t *testing.T) {
+	f := sampleFile()
+	f.SigBlob = []byte("sig-blob")
+	f.AddEncryptedResource(7, []byte{0x5A}, []byte("resource payload"))
+	raw, err := f.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if got := f.marshalledSize(); got != len(raw) {
+		t.Fatalf("marshalledSize = %d, encoded length = %d", got, len(raw))
+	}
+}
+
+// BenchmarkMarshal tracks allocations on the image-marshal hot path.
+func BenchmarkMarshal(b *testing.B) {
+	b.ReportAllocs()
+	f := sampleFile()
+	f.AddEncryptedResource(7, []byte{0x5A}, make([]byte, 200*1024))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

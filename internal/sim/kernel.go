@@ -42,7 +42,10 @@ type Cause struct {
 	Vector string
 }
 
-// Event is a scheduled callback inside the simulation.
+// Event is a scheduled callback inside the simulation. Fired and
+// cancelled Event structs are recycled through the kernel's free list, so
+// code outside the kernel must hold a Timer (which detects recycling),
+// never a bare *Event.
 type Event struct {
 	at    time.Time
 	seq   uint64
@@ -52,11 +55,38 @@ type Event struct {
 	index int // heap index; -1 once popped or cancelled
 }
 
-// At returns the virtual time at which the event fires.
-func (e *Event) At() time.Time { return e.at }
+// Timer is a cancellable handle to a scheduled event. The zero Timer is
+// inert. A Timer stays safe to use after its event fires or is cancelled
+// even though the kernel recycles Event structs: every operation checks
+// the schedule sequence number stamped at creation, so a stale handle
+// can never touch a recycled event that now belongs to someone else.
+type Timer struct {
+	ev  *Event
+	seq uint64
+}
 
-// Name returns the debug name given at scheduling time.
-func (e *Event) Name() string { return e.name }
+// Active reports whether the event is still queued.
+func (t Timer) Active() bool {
+	return t.ev != nil && t.ev.index >= 0 && t.ev.seq == t.seq
+}
+
+// At returns the virtual fire time, or the zero time if the event already
+// fired, was cancelled, or the Timer is zero.
+func (t Timer) At() time.Time {
+	if !t.Active() {
+		return time.Time{}
+	}
+	return t.ev.at
+}
+
+// Name returns the debug name given at scheduling time, or "" once the
+// event is no longer queued.
+func (t Timer) Name() string {
+	if !t.Active() {
+		return ""
+	}
+	return t.ev.name
+}
 
 type eventHeap []*Event
 
@@ -94,9 +124,13 @@ func (h *eventHeap) Pop() any {
 // Kernel is the discrete-event simulation core. It is not safe for
 // concurrent use; the entire range is single-threaded and deterministic.
 type Kernel struct {
-	now     time.Time
-	seq     uint64
-	queue   eventHeap
+	now   time.Time
+	seq   uint64
+	queue eventHeap
+	// free recycles fired/cancelled Event structs. A 30,000-host timer
+	// storm schedules millions of events; without the pool every one is a
+	// fresh heap allocation that survives until the next GC cycle.
+	free    []*Event
 	rng     *RNG
 	trace   *Trace
 	stopped bool
@@ -237,8 +271,8 @@ func (k *Kernel) OpenSpan(cat Category, actor, msg, vector string, tags ...obs.T
 func (k *Kernel) Pending() int { return len(k.queue) }
 
 // Schedule enqueues fn to run after delay d. Negative delays are treated as
-// zero. The returned Event may be passed to Cancel.
-func (k *Kernel) Schedule(d time.Duration, name string, fn func()) *Event {
+// zero. The returned Timer may be passed to Cancel.
+func (k *Kernel) Schedule(d time.Duration, name string, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -247,7 +281,7 @@ func (k *Kernel) Schedule(d time.Duration, name string, fn func()) *Event {
 
 // ScheduleAt enqueues fn to run at virtual time t. Times in the past are
 // clamped to now.
-func (k *Kernel) ScheduleAt(t time.Time, name string, fn func()) *Event {
+func (k *Kernel) ScheduleAt(t time.Time, name string, fn func()) Timer {
 	if fn == nil {
 		panic("sim: ScheduleAt with nil fn")
 	}
@@ -255,13 +289,33 @@ func (k *Kernel) ScheduleAt(t time.Time, name string, fn func()) *Event {
 		t = k.now
 	}
 	k.seq++
-	ev := &Event{at: t, seq: k.seq, name: name, fn: fn, cause: k.cause}
+	var ev *Event
+	if n := len(k.free); n > 0 {
+		ev = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		*ev = Event{at: t, seq: k.seq, name: name, fn: fn, cause: k.cause}
+	} else {
+		ev = &Event{at: t, seq: k.seq, name: name, fn: fn, cause: k.cause}
+	}
 	heap.Push(&k.queue, ev)
 	k.mSchedule.Inc()
 	if k.kernelEvents {
 		k.trace.Emit(k.now, CatKernel, "kernel", "schedule "+name, obs.Ti("seq", int64(ev.seq)))
 	}
-	return ev
+	return Timer{ev: ev, seq: ev.seq}
+}
+
+// release clears a popped or cancelled event and returns its struct to
+// the free list. Nilling the closure (and the name string) matters: a
+// fired event's fn captures hosts, drives and implant state, and a
+// retained pointer in the queue's backing array would keep entire
+// infection chains alive for the rest of the run.
+func (k *Kernel) release(ev *Event) {
+	ev.fn = nil
+	ev.name = ""
+	ev.cause = Cause{}
+	k.free = append(k.free, ev)
 }
 
 // Every schedules fn to run repeatedly with the given period, starting one
@@ -273,10 +327,10 @@ func (k *Kernel) Every(period time.Duration, name string, fn func()) (cancel fun
 		panic(fmt.Sprintf("sim: Every with non-positive period %v", period))
 	}
 	stopped := false
-	var pending *Event
+	var pending Timer
 	var tick func()
 	tick = func() {
-		pending = nil
+		pending = Timer{}
 		if stopped {
 			return
 		}
@@ -289,22 +343,26 @@ func (k *Kernel) Every(period time.Duration, name string, fn func()) (cancel fun
 	return func() {
 		stopped = true
 		k.Cancel(pending)
-		pending = nil
+		pending = Timer{}
 	}
 }
 
-// Cancel removes a previously scheduled event. Cancelling an event that has
-// already fired (or was already cancelled) is a no-op.
-func (k *Kernel) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+// Cancel removes a previously scheduled event. Cancelling a Timer whose
+// event already fired (or was already cancelled), or the zero Timer, is a
+// no-op — the sequence check makes stale handles inert even after the
+// Event struct is recycled.
+func (k *Kernel) Cancel(t Timer) {
+	if !t.Active() {
 		return
 	}
+	ev := t.ev
 	heap.Remove(&k.queue, ev.index)
 	ev.index = -1
 	k.mCancel.Inc()
 	if k.kernelEvents {
 		k.trace.Emit(k.now, CatKernel, "kernel", "cancel "+ev.name, obs.Ti("seq", int64(ev.seq)))
 	}
+	k.release(ev)
 }
 
 // Stop halts the current Run call after the in-flight event completes.
@@ -335,11 +393,14 @@ func (k *Kernel) Step() bool {
 	}
 	// Reinstate the causal context captured at scheduling time, so work
 	// done inside timer callbacks attributes to the episode that armed
-	// the timer.
+	// the timer. The callback is read out before it runs because the
+	// struct is recycled (and its closure dropped) as soon as it returns.
+	fn := ev.fn
 	prev := k.cause
 	k.cause = ev.cause
 	k.trace.setAmbient(ev.cause.Span)
-	ev.fn()
+	k.release(ev)
+	fn()
 	k.cause = prev
 	k.trace.setAmbient(prev.Span)
 	return true

@@ -82,15 +82,15 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	// Double-cancel and cancel-nil must be safe.
+	// Double-cancel and cancelling the zero Timer must be safe.
 	k.Cancel(ev)
-	k.Cancel(nil)
+	k.Cancel(Timer{})
 }
 
 func TestCancelOneOfMany(t *testing.T) {
 	k := NewKernel()
 	var got []int
-	evs := make([]*Event, 5)
+	evs := make([]Timer, 5)
 	for i := 0; i < 5; i++ {
 		i := i
 		evs[i] = k.Schedule(time.Duration(i+1)*time.Second, "n", func() { got = append(got, i) })
