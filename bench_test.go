@@ -2,7 +2,8 @@ package repro
 
 // The benchmark harness: one benchmark per paper artefact (Figures 1-6,
 // claims C1-C11, the Section-V taxonomy T1, ablations A1-A3, extensions
-// E1-E4 and the resilience series R1-R5). Each bench
+// E1-E4, the resilience series R1-R5 and the detection series D1-D3).
+// Each bench
 // regenerates its experiment end to end and reports the headline paper
 // metric(s) via b.ReportMetric, so
 //
@@ -60,12 +61,12 @@ func benchRunAll(b *testing.B, workers int) {
 	}
 }
 
-// BenchmarkRunAllSequential is the pre-pool baseline: all 30 experiments
+// BenchmarkRunAllSequential is the pre-pool baseline: all 33 experiments
 // on one goroutine. Compare with BenchmarkRunAllParallel on a multi-core
 // box; on a single hardware thread the two are equivalent by design.
 func BenchmarkRunAllSequential(b *testing.B) { benchRunAll(b, 1) }
 
-// BenchmarkRunAllParallel fans the 30 experiments out across GOMAXPROCS
+// BenchmarkRunAllParallel fans the 33 experiments out across GOMAXPROCS
 // workers. Each experiment owns an independent world, so wall clock
 // approaches the heaviest single experiment (C7) as cores are added.
 func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, runtime.GOMAXPROCS(0)) }
@@ -220,4 +221,18 @@ func BenchmarkResilienceCrashPersistence(b *testing.B) {
 
 func BenchmarkResilienceAVAttrition(b *testing.B) {
 	benchExperiment(b, "R5", "files_quarantined", "agents_remediated", "agents_alive")
+}
+
+// --- Detection: the streaming engine vs live campaigns ---
+
+func BenchmarkDetectCNICampaign(b *testing.B) {
+	benchExperiment(b, "D1", "rules_fired", "alerts", "killchain_latency")
+}
+
+func BenchmarkDetectCrossCampaign(b *testing.B) {
+	benchExperiment(b, "D2", "behavioural_rules_fired", "specific_rules_fired")
+}
+
+func BenchmarkDetectFalsePositives(b *testing.B) {
+	benchExperiment(b, "D3", "false_positives", "fp_threshold_rules")
 }

@@ -13,7 +13,14 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-go vet ./...
+# Vet, with the offending package(s) called out up front — `go vet`
+# buries them as `# pkg` headers inside the diagnostic stream.
+if ! vet_out=$(go vet ./... 2>&1); then
+    echo "go vet failed in package(s):" >&2
+    echo "$vet_out" | sed -n 's/^# /  /p' >&2
+    echo "$vet_out" >&2
+    exit 1
+fi
 go build ./...
 go test ./...
 
@@ -23,6 +30,11 @@ go test ./...
 # engine and the R-series under -race across every touched package.
 go test -race -run 'Parallel|Sweep|RaceLane' ./internal/core
 go test -race ./internal/sim ./internal/netsim ./internal/cnc ./internal/faults
+
+# Detect lane: the streaming engine subscribes to the live trace from
+# inside experiment worlds, so it and the CNI campaign run under -race
+# alongside the substrate they hook.
+go test -race ./internal/detect ./internal/malware/cni
 go test -race -run 'Fault|Resilience' ./internal/core ./internal/netsim ./internal/cnc ./internal/faults
 
 # Bench lane: compile and run every obs/provenance benchmark once, so a
@@ -80,6 +92,18 @@ if ! diff -u examples/faults/r2-fault-timeline.txt "$tmp_dot"; then
     echo "fault timeline drifted; regenerate with:" >&2
     echo "  go run ./cmd/cyberlab -run R2 -trace r2.jsonl" >&2
     echo "  go run ./cmd/cyberlab trace -in r2.jsonl -cat fault -actor faults > examples/faults/r2-fault-timeline.txt" >&2
+    exit 1
+fi
+
+# Detection drift gate: replaying D1's exported trace through the rule
+# pack offline must reproduce the committed alert stream byte-for-byte
+# (which the engine's tests also prove equal to the live alert stream).
+go run ./cmd/cyberlab -run D1 -trace "$tmp_trace" >/dev/null
+go run ./cmd/cyberlab detect -in "$tmp_trace" -o "$tmp_dot" 2>/dev/null
+if ! diff -u examples/detect/d1-alerts.jsonl "$tmp_dot"; then
+    echo "D1 alert stream drifted; regenerate with:" >&2
+    echo "  go run ./cmd/cyberlab -run D1 -trace d1.jsonl" >&2
+    echo "  go run ./cmd/cyberlab detect -in d1.jsonl -o examples/detect/d1-alerts.jsonl" >&2
     exit 1
 fi
 

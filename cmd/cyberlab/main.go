@@ -13,7 +13,9 @@
 //	cyberlab -all [-parallel 8] [-trace t.jsonl] [-metrics m.json]
 //	cyberlab -all -seeds 1..16 [-parallel 8]
 //	cyberlab -report [-o EXPERIMENTS.md]
+//	cyberlab -rules
 //	cyberlab trace -in t.jsonl [-cat X] [-actor Y] [-tag k=v] [-chain F1/s3] [-dot out.dot]
+//	cyberlab detect -in t.jsonl [-o alerts.jsonl]
 //
 // -faults selects the adversity profile the R-series experiments run
 // under (none, light, takedown, chaos; default takedown). The profile is
@@ -39,6 +41,11 @@
 // which vector, and when. Default output is the indented tree plus
 // aggregate stats; -dot renders Graphviz; -chain prints one episode's
 // root-to-leaf causal path.
+//
+// The detect subcommand replays a `-trace` JSONL export through the
+// built-in detection rule pack (internal/detect) offline and emits the
+// alert stream as JSONL — byte-identical to what a live engine attached
+// to the same run would have produced. -rules lists the pack.
 package main
 
 import (
@@ -55,6 +62,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/detect"
 	"repro/internal/obs"
 	"repro/internal/provenance"
 )
@@ -70,9 +78,13 @@ func run(args []string) error {
 	if len(args) > 0 && args[0] == "trace" {
 		return runTrace(args[1:])
 	}
+	if len(args) > 0 && args[0] == "detect" {
+		return runDetect(args[1:])
+	}
 	fs := flag.NewFlagSet("cyberlab", flag.ContinueOnError)
 	var (
 		list       = fs.Bool("list", false, "list experiment IDs and exit")
+		rules      = fs.Bool("rules", false, "list the built-in detection rule pack and exit")
 		id         = fs.String("run", "", "run experiments by ID, comma-separated (e.g. F1 or F2,C1)")
 		all        = fs.Bool("all", false, "run every experiment")
 		genReport  = fs.Bool("report", false, "run every experiment and render EXPERIMENTS.md markdown")
@@ -150,6 +162,11 @@ func run(args []string) error {
 	case *list:
 		for _, eid := range core.ExperimentIDs() {
 			fmt.Println(eid)
+		}
+		return nil
+	case *rules:
+		for _, r := range detect.CNIRulePack() {
+			fmt.Printf("%-22s %-9s %s\n", r.Name, ruleKind(r), r.Desc)
 		}
 		return nil
 	case *seeds != "":
@@ -234,8 +251,69 @@ func run(args []string) error {
 		return reportErr(reports)
 	default:
 		fs.Usage()
-		return fmt.Errorf("specify -list, -run ID, -all, -report, or -seeds")
+		return fmt.Errorf("specify -list, -rules, -run ID, -all, -report, or -seeds")
 	}
+}
+
+// ruleKind names a rule's matching primitive for the -rules listing.
+func ruleKind(r detect.Rule) string {
+	switch {
+	case r.Threshold != nil:
+		return "threshold"
+	case r.Sequence != nil:
+		return "sequence"
+	default:
+		return "single"
+	}
+}
+
+// runDetect implements `cyberlab detect`: replay a JSONL trace export
+// through the built-in rule pack and write the alert stream as JSONL.
+func runDetect(args []string) error {
+	fs := flag.NewFlagSet("cyberlab detect", flag.ContinueOnError)
+	var (
+		in  = fs.String("in", "", "JSONL trace export to read (required; \"-\" = stdin)")
+		out = fs.String("o", "", "write the alert stream as JSONL to this file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("detect: -in FILE is required")
+	}
+	if err := validateOutPath("-o", *out); err != nil {
+		return err
+	}
+	r := io.Reader(os.Stdin)
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return fmt.Errorf("detect: %w", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	events, err := obs.ParseJSONL(r)
+	if err != nil {
+		return fmt.Errorf("detect: read %s: %w", *in, err)
+	}
+	alerts, err := detect.Replay(events, detect.CNIRulePack())
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := detect.WriteAlertsJSONL(&buf, alerts); err != nil {
+		return fmt.Errorf("detect: render alerts: %w", err)
+	}
+	if *out == "" || *out == "-" {
+		if _, err := os.Stdout.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("detect: write alerts: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "%d alerts from %d events\n", len(alerts), len(events))
+	return nil
 }
 
 // parseIDs splits a comma-separated -run value and validates every ID.

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/detect"
+	"repro/internal/host"
+	"repro/internal/malware/shamoon"
+	"repro/internal/pe"
+	"repro/internal/provenance"
+)
+
+// The D-series evaluates the streaming detection engine (internal/detect)
+// against live campaigns: D1 measures coverage and latency against the
+// campaign the rule pack was written for, D2 measures how much of the
+// pack generalizes to an unrelated weapon, and D3 measures the
+// false-positive surface against purely benign administration. Together
+// they are the paper's "detection is possible from commodity telemetry"
+// counterpoint to the weapons chapters.
+
+// ruleCoverageBlock renders the per-rule firing table shared by the
+// D-series reports: one row per rule in pack order, fire count, and the
+// virtual-time offset of the first alert (or "-" for silent rules).
+func ruleCoverageBlock(en *detect.Engine, start time.Time) string {
+	alerts := en.Alerts()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %5s  %s\n", "rule", "fires", "first alert (offset)")
+	for _, r := range en.Rules() {
+		first := "-"
+		for _, a := range alerts {
+			if a.Rule == r.Name {
+				first = fmt.Sprintf("+%s", a.At.Sub(start))
+				break
+			}
+		}
+		fmt.Fprintf(&b, "%-22s %5d  %s\n", r.Name, en.FireCount(r.Name), first)
+	}
+	return b.String()
+}
+
+// RunD1CNIDetection answers: watching nothing but the range's commodity
+// telemetry stream (task registrations, RDP logins, SMB executions,
+// C2 check-ins), does the translated CNI rule pack see the whole
+// espionage campaign, and how fast? Every rule must fire, the three-stage
+// kill-chain sequence must assemble, and every alert must carry a causal
+// span that chains back to the campaign's web-shell root in the
+// provenance forest.
+func RunD1CNIDetection(seed uint64) (*Result, error) {
+	w, err := NewWorld(WorldConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	sc, err := BuildCNI(w, CNIOptions{Workstations: 6, Rules: detect.CNIRulePack()})
+	if err != nil {
+		return nil, err
+	}
+	start := w.K.Now()
+	if err := sc.Intrude(); err != nil {
+		return nil, err
+	}
+	if err := w.K.RunFor(14 * 24 * time.Hour); err != nil {
+		return nil, err
+	}
+
+	en := sc.Engine
+	alerts := en.Alerts()
+	fired := 0
+	for _, r := range en.Rules() {
+		if en.FireCount(r.Name) > 0 {
+			fired++
+		}
+	}
+	firstAlert := time.Duration(-1)
+	if len(alerts) > 0 {
+		firstAlert = alerts[0].At.Sub(start)
+	}
+	killChain := time.Duration(-1)
+	for _, a := range alerts {
+		if a.Rule == "cni-kill-chain" {
+			killChain = a.At.Sub(start)
+			break
+		}
+	}
+
+	// Attribution: every live alert span must exist in a valid forest.
+	f := provenance.Build(w.K.Trace().Events())
+	issues := f.Validate()
+	unattributed := 0
+	for _, a := range alerts {
+		if a.Span == 0 || f.Node(provenance.NodeID{Span: a.Span}) == nil {
+			unattributed++
+		}
+	}
+
+	fleet := 1 + len(sc.Workstations)
+	res := &Result{
+		ID:    "D1",
+		Title: "Streaming detection of the CNI espionage campaign",
+		Paper: "the CNI hunting content (web-shell drops, Event-4698 tasks, Event-1149 RDP chains, PSEXESVC, proxy-tool beaconing) detects the intrusion end to end",
+	}
+	res.metric("fleet", float64(fleet), "hosts")
+	res.metric("infected_hosts", float64(sc.CNI.InfectedCount()), "hosts")
+	res.metric("events_seen", float64(en.Seen()), "events")
+	res.metric("rules_total", float64(len(en.Rules())), "rules")
+	res.metric("rules_fired", float64(fired), "rules")
+	res.metric("alerts", float64(len(alerts)), "alerts")
+	res.metric("first_alert_latency", firstAlert.Hours(), "h")
+	res.metric("killchain_latency", killChain.Hours(), "h")
+	res.metric("unattributed_alerts", float64(unattributed), "alerts")
+	res.metric("false_positives", 0, "alerts") // no benign actors in this world
+	res.Pass = sc.CNI.InfectedCount() == fleet &&
+		fired == len(en.Rules()) && len(alerts) > 0 &&
+		killChain >= 0 && unattributed == 0 && len(issues) == 0
+	res.summaryf("all %d/%d rules fired (%d alerts over %d events); first alert at +%.0fh, kill-chain confirmed at +%.0fh, every alert span chains to the web-shell root",
+		fired, len(en.Rules()), len(alerts), en.Seen(), firstAlert.Hours(), killChain.Hours())
+	res.notef("detection needs no malware-specific hooks: the engine subscribes to the same trace every experiment already emits")
+	res.block(ruleCoverageBlock(en, start))
+	res.CaptureObs(w.K)
+	return res, nil
+}
+
+// RunD2CrossCampaign answers: how much of the CNI pack is behavioural
+// (generalizes to a weapon it was never written for) versus
+// campaign-specific? Against Shamoon's SMB fan-out the two PsExec rules
+// must fire — the telemetry is the same PSEXESVC pattern — while the
+// web-shell, VPN, task-path, proxy and kill-chain content must stay
+// silent: Shamoon persists under System32, reports home with its own
+// protocol, and never touches RDP.
+func RunD2CrossCampaign(seed uint64) (*Result, error) {
+	w, err := NewWorld(WorldConfig{Seed: seed, Start: shamoon.AramcoTrigger.Add(-72 * time.Hour)})
+	if err != nil {
+		return nil, err
+	}
+	// Attach before the build so the rules see patient zero's infection.
+	en, err := detect.Attach(w.K, detect.CNIRulePack())
+	if err != nil {
+		return nil, err
+	}
+	start := w.K.Now()
+	ar, err := BuildAramco(w, AramcoOptions{
+		Workstations: 24, DocsPerHost: 2,
+		SpreadEvery: 12 * time.Hour, MaxPerSweep: 4, LeanImages: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := w.K.RunUntil(shamoon.AramcoTrigger.Add(2 * time.Hour)); err != nil {
+		return nil, err
+	}
+
+	behavioural := map[string]bool{"psexec-remote-exec": true, "psexec-fanout": true}
+	behaviouralFired, specificFired := 0, 0
+	for _, r := range en.Rules() {
+		if en.FireCount(r.Name) == 0 {
+			continue
+		}
+		if behavioural[r.Name] {
+			behaviouralFired++
+		} else {
+			specificFired++
+		}
+	}
+
+	res := &Result{
+		ID:    "D2",
+		Title: "Rule-pack specificity: CNI content vs. the Shamoon wiper",
+		Paper: "behavioural rules (remote-execution telemetry) transfer across weapons; campaign-specific content does not",
+	}
+	res.metric("fleet", float64(len(ar.Hosts)), "hosts")
+	res.metric("infected_hosts", float64(ar.Shamoon.InfectedCount()), "hosts")
+	res.metric("events_seen", float64(en.Seen()), "events")
+	res.metric("behavioural_rules_fired", float64(behaviouralFired), "rules")
+	res.metric("specific_rules_fired", float64(specificFired), "rules")
+	res.metric("alerts", float64(len(en.Alerts())), "alerts")
+	res.Pass = ar.Shamoon.InfectedCount() > 1 &&
+		behaviouralFired == len(behavioural) && specificFired == 0
+	res.summaryf("against Shamoon only the %d behavioural PsExec rules fired (%d alerts); all %d campaign-specific CNI rules stayed silent",
+		behaviouralFired, len(en.Alerts()), len(en.Rules())-len(behavioural))
+	res.notef("the split is the point: telemetry-shape rules buy cross-weapon coverage, IOC-shaped rules buy precision")
+	res.block(ruleCoverageBlock(en, start))
+	res.CaptureObs(w.K)
+	return res, nil
+}
+
+// RunD3FalsePositives answers: what does the pack cost in false positives
+// against purely benign IT administration? A staged nightly patch rollout
+// (RDP in, copy, remote-exec — one host per night) plus routine
+// Program-Files scheduled tasks. The single-event PsExec rule fires on
+// every rollout night — remote execution IS the deployment mechanism, and
+// triage cost is the honest price of that rule — but every threshold,
+// sequence and campaign-specific rule must stay at zero.
+func RunD3FalsePositives(seed uint64) (*Result, error) {
+	w, err := NewWorld(WorldConfig{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	en, err := detect.Attach(w.K, detect.CNIRulePack())
+	if err != nil {
+		return nil, err
+	}
+	start := w.K.Now()
+	lan := w.NewLAN("corp-benign", "10.70.0", false)
+	admin := w.AddHost(lan, "IT-ADMIN", host.WithShares(true), host.WithInternet(true))
+	const fleetSize = 5
+	fleet := make([]*host.Host, fleetSize)
+	for i := range fleet {
+		fleet[i] = w.AddHost(lan, fmt.Sprintf("CORP-%02d", i+1),
+			host.WithShares(true), host.WithInternet(true))
+		// Routine persistence: a nightly backup task under Program Files.
+		fleet[i].ScheduleTask("nightly-backup",
+			`C:\Program Files\BackupSuite\backup.exe`, w.K.Now().Add(30*24*time.Hour))
+	}
+
+	patch := &pe.File{
+		Name: "kb-rollup.exe", Machine: pe.MachineX86,
+		Timestamp: time.Date(2012, 6, 1, 0, 0, 0, 0, time.UTC),
+		Sections: []pe.Section{{Name: ".text", Characteristics: pe.SecCode | pe.SecExec,
+			Data: []byte("monthly security rollup installer\x00")}},
+	}
+	raw, err := patch.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	const patchPath = `C:\Patches\kb-rollup.exe`
+	// Staged rollout: one host per night, credentialed RDP then PsExec —
+	// exactly the telemetry shapes the pack watches, at benign cadence.
+	next := 0
+	w.K.Every(24*time.Hour, "it-rollout", func() {
+		if next >= len(fleet) {
+			return
+		}
+		target := fleet[next]
+		next++
+		if err := lan.RDPLogin(admin, target.Name, "it-admin"); err != nil {
+			return
+		}
+		if err := lan.CopyToShare(admin, target.Name, patchPath, raw); err != nil {
+			return
+		}
+		lan.RemoteExec(admin, target.Name, patchPath)
+	})
+	if err := w.K.RunFor(7 * 24 * time.Hour); err != nil {
+		return nil, err
+	}
+
+	perClass := map[string]int{}
+	fpTotal := 0
+	for _, r := range en.Rules() {
+		n := en.FireCount(r.Name)
+		fpTotal += n
+		switch {
+		case r.Threshold != nil:
+			perClass["threshold"] += n
+		case r.Sequence != nil:
+			perClass["sequence"] += n
+		case r.Name == "psexec-remote-exec":
+			perClass["deployment"] += n
+		default:
+			perClass["other-single"] += n
+		}
+	}
+
+	res := &Result{
+		ID:    "D3",
+		Title: "False-positive surface against benign administration",
+		Paper: "threshold and sequence rules encode attacker cadence, so benign single-host-per-night operations never reach them",
+	}
+	res.metric("benign_hosts", float64(1+fleetSize), "hosts")
+	res.metric("events_seen", float64(en.Seen()), "events")
+	res.metric("false_positives", float64(fpTotal), "alerts")
+	res.metric("fp_deployment_rule", float64(perClass["deployment"]), "alerts")
+	res.metric("fp_threshold_rules", float64(perClass["threshold"]), "alerts")
+	res.metric("fp_sequence_rules", float64(perClass["sequence"]), "alerts")
+	res.metric("fp_other_single", float64(perClass["other-single"]), "alerts")
+	res.Pass = perClass["deployment"] == fleetSize &&
+		perClass["threshold"] == 0 && perClass["sequence"] == 0 &&
+		perClass["other-single"] == 0
+	res.summaryf("a week of benign administration cost %d false positives, all from the single-event PsExec rule (one per rollout night); every threshold, sequence and campaign-specific rule stayed at zero",
+		fpTotal)
+	res.notef("the remaining FPs are irreducible without allow-listing: remote execution is both the deployment mechanism and the lateral-movement primitive")
+	res.block(ruleCoverageBlock(en, start))
+	res.CaptureObs(w.K)
+	return res, nil
+}

@@ -183,6 +183,9 @@ var Experiments = map[string]Runner{
 	"R3":  RunR3ShamoonBlackout,
 	"R4":  RunR4CrashPersistence,
 	"R5":  RunR5AVAttrition,
+	"D1":  RunD1CNIDetection,
+	"D2":  RunD2CrossCampaign,
+	"D3":  RunD3FalsePositives,
 }
 
 // ExperimentIDs returns all experiment IDs in report order.
@@ -193,6 +196,7 @@ func ExperimentIDs() []string {
 		"T1", "A1", "A2", "A3",
 		"E1", "E2", "E3", "E4",
 		"R1", "R2", "R3", "R4", "R5",
+		"D1", "D2", "D3",
 	}
 }
 

@@ -5,8 +5,10 @@ import (
 	"time"
 
 	"repro/internal/cnc"
+	"repro/internal/detect"
 	"repro/internal/host"
 	"repro/internal/malware"
+	"repro/internal/malware/cni"
 	"repro/internal/malware/flame"
 	"repro/internal/malware/shamoon"
 	"repro/internal/malware/stuxnet"
@@ -301,6 +303,88 @@ func BuildAramco(w *World, opts AramcoOptions) (*AramcoScenario, error) {
 		return nil, fmt.Errorf("infect patient zero: %w", err)
 	}
 	return sc, nil
+}
+
+// CNIScenario is the detection-engine world: a critical-infrastructure
+// enclave with one internet-exposed IIS host, a workstation fleet, the
+// IRGC-style CNI espionage campaign, and (optionally) a live streaming
+// detection engine watching the kernel's event stream.
+type CNIScenario struct {
+	World        *World
+	LAN          *netsim.LAN
+	Entry        *host.Host
+	Workstations []*host.Host
+	Center       *cnc.AttackCenter
+	CNI          *cni.CNI
+	// Engine is the live detection engine (nil unless Rules were given).
+	Engine *detect.Engine
+}
+
+// CNIOptions tweak the scenario.
+type CNIOptions struct {
+	Workstations int // default 6
+	Domains      int // default 12
+	ServerIPs    int // default 4
+	BeaconEvery  time.Duration
+	LateralEvery time.Duration
+	// Rules, when non-empty, attaches a streaming detect.Engine to the
+	// kernel before any campaign activity, so the rules see every event.
+	Rules []detect.Rule
+}
+
+// BuildCNI assembles the scenario on an existing world. Nothing is
+// compromised until Intrude.
+func BuildCNI(w *World, opts CNIOptions) (*CNIScenario, error) {
+	if opts.Workstations <= 0 {
+		opts.Workstations = 6
+	}
+	if opts.Domains <= 0 {
+		opts.Domains = 12
+	}
+	if opts.ServerIPs <= 0 {
+		opts.ServerIPs = 4
+	}
+	sc := &CNIScenario{World: w}
+	sc.LAN = w.NewLAN("cni-enclave", "10.60.0", false)
+
+	center, err := cnc.NewAttackCenter(w.K, w.Internet, opts.Domains, opts.ServerIPs)
+	if err != nil {
+		return nil, err
+	}
+	sc.Center = center
+	center.Admin().ProvisionAll(30 * time.Minute)
+
+	c, err := cni.Build(w.K, cni.Config{
+		Center:       center,
+		BeaconEvery:  opts.BeaconEvery,
+		LateralEvery: opts.LateralEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sc.CNI = c
+	c.BindTo(w.Registry)
+
+	if len(opts.Rules) > 0 {
+		if sc.Engine, err = detect.Attach(w.K, opts.Rules); err != nil {
+			return nil, err
+		}
+	}
+
+	sc.Entry = w.AddHost(sc.LAN, "IIS-01",
+		host.WithOS(host.WinServer2008), host.WithShares(true), host.WithInternet(true))
+	for i := 0; i < opts.Workstations; i++ {
+		sc.Workstations = append(sc.Workstations,
+			w.AddHost(sc.LAN, fmt.Sprintf("CNI-WS-%02d", i+1),
+				host.WithShares(true), host.WithInternet(true)))
+	}
+	return sc, nil
+}
+
+// Intrude mounts the initial access: the stolen-credential VPN login and
+// the web-shell drop on the exposed entry host.
+func (sc *CNIScenario) Intrude() error {
+	return sc.CNI.Intrude(sc.LAN, sc.Entry)
 }
 
 // WipedCount counts unbootable, wiped hosts.

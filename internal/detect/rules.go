@@ -1,0 +1,114 @@
+package detect
+
+import "time"
+
+// CNIRulePack returns the built-in detections, translated from the
+// published IRGC-CNI hunting rules (SNIPPETS.md: the Splunk, Elastic and
+// Datadog variants of the CISA advisory content) into this engine's
+// primitives. The telemetry names map onto the range's substrate events:
+// IIS web-shell drops emit cat=exploit "webshell written", scheduled-task
+// registration emits cat=exec "task registered" (the Event-4698 analog),
+// service creation emits "service installed" (7045), RDP sessions emit
+// cat=network "rdp login" (1149), and SMB remote execution emits
+// cat=spread "psexec" — so each rule below is the simulated twin of its
+// SIEM original.
+func CNIRulePack() []Rule {
+	return []Rule{
+		{
+			Name: "webshell-write",
+			Desc: "web shell dropped into an IIS content directory (UpdateChecker.aspx pattern)",
+			Match: &Predicate{
+				Cat:         "exploit",
+				MsgContains: "webshell written",
+			},
+		},
+		{
+			Name: "webshell-exec",
+			Desc: "IIS worker executing an .aspx payload as a process",
+			Match: &Predicate{
+				Cat:  "exec",
+				Tags: []TagMatch{{K: "image", Contains: ".aspx"}},
+			},
+		},
+		{
+			Name: "schtask-temp-image",
+			Desc: "scheduled task registered with an image under a writable Temp path (randomized-name persistence)",
+			Match: &Predicate{
+				Cat:         "exec",
+				MsgContains: "task registered",
+				Tags:        []TagMatch{{K: "image", Contains: `\Temp\`}},
+			},
+		},
+		{
+			Name: "proxy-tool-exec",
+			Desc: "known tunnelling/proxy tool executed (plink, ngrok, glider, reverse socks)",
+			Match: &Predicate{
+				Cat:  "exec",
+				Tags: []TagMatch{{K: "image", Contains: "plink"}},
+			},
+		},
+		{
+			Name: "vpn-login-external",
+			Desc: "VPN authentication from an external address with a privileged account",
+			Match: &Predicate{
+				Cat:         "network",
+				MsgContains: "vpn login",
+			},
+		},
+		{
+			Name: "psexec-remote-exec",
+			Desc: "remote service execution over SMB (PSEXESVC pattern)",
+			Match: &Predicate{
+				Cat:         "spread",
+				MsgContains: "psexec",
+			},
+			// One deployment sweep should read as one alert per source,
+			// not one per target.
+			Cooldown: time.Hour,
+		},
+		{
+			Name: "psexec-fanout",
+			Desc: "three or more remote executions from one source within six hours",
+			Threshold: &Threshold{
+				Of:       Predicate{Cat: "spread", MsgContains: "psexec"},
+				Count:    3,
+				Window:   6 * time.Hour,
+				PerActor: true,
+			},
+		},
+		{
+			Name: "rdp-login-burst",
+			Desc: "burst of outbound RDP logins from one host (Event-1149 chain)",
+			Threshold: &Threshold{
+				Of:       Predicate{Cat: "network", MsgContains: "rdp login"},
+				Count:    3,
+				Window:   48 * time.Hour,
+				PerActor: true,
+			},
+		},
+		{
+			Name: "beacon-periodic",
+			Desc: "six or more C2 check-ins from one host inside a day (proxy-tool beaconing)",
+			Threshold: &Threshold{
+				Of:       Predicate{Cat: "c2", MsgContains: "checked in"},
+				Count:    6,
+				Window:   24 * time.Hour,
+				PerActor: true,
+			},
+			Cooldown: 24 * time.Hour,
+		},
+		{
+			Name: "cni-kill-chain",
+			Desc: "web shell write, then scheduled-task persistence, then lateral psexec on the same host within 72 hours",
+			Sequence: &Sequence{
+				Steps: []Predicate{
+					{Cat: "exploit", MsgContains: "webshell written"},
+					{Cat: "exec", MsgContains: "task registered", Tags: []TagMatch{{K: "image", Contains: `\Temp\`}}},
+					{Cat: "spread", MsgContains: "psexec"},
+				},
+				Window:   72 * time.Hour,
+				PerActor: true,
+			},
+		},
+	}
+}

@@ -422,11 +422,15 @@ func (h *Host) DropFile(path string, img *pe.File, attr FileAttr) error {
 	return h.FS.Write(path, raw, attr, h.K.Now())
 }
 
-// InstallService registers a service whose image lives at imagePath.
+// InstallService registers a service whose image lives at imagePath. The
+// registration is traced (the Event-7045 analog) so detection rules can
+// watch service creation — the artefact PsExec leaves on every target.
 func (h *Host) InstallService(name, imagePath string, startOnBoot bool) *Service {
 	s := &Service{Name: name, ImagePath: imagePath, StartOnBoot: startOnBoot}
 	h.services[strings.ToLower(name)] = s
 	h.Registry.Set(`HKLM\SYSTEM\CurrentControlSet\Services\`+name+`\ImagePath`, imagePath)
+	h.K.Trace().Emit(h.K.Now(), sim.CatExec, h.Name, "service installed: "+name,
+		obs.T("service", name), obs.T("image", imagePath))
 	return s
 }
 
@@ -448,10 +452,15 @@ func (h *Host) StartService(name string) error {
 	return nil
 }
 
-// ScheduleTask registers a task that executes imagePath at the given time.
+// ScheduleTask registers a task that executes imagePath at the given
+// time. The registration is traced (the Event-4698 analog) so detection
+// rules can watch task creation — the persistence artefact the CNI
+// intrusions dropped with randomized names.
 func (h *Host) ScheduleTask(name, imagePath string, at time.Time) *Task {
 	t := &Task{Name: name, At: at, ImagePath: imagePath}
 	h.tasks = append(h.tasks, t)
+	h.K.Trace().Emit(h.K.Now(), sim.CatExec, h.Name, "task registered: "+name,
+		obs.T("task", name), obs.T("image", imagePath))
 	h.K.ScheduleAt(at, "task:"+name+"@"+h.Name, func() {
 		if t.fired {
 			return

@@ -57,7 +57,7 @@ type LAN struct {
 
 	// Cached metric handles; the SMB/psexec paths run once per peer per
 	// spread round at fleet scale.
-	mAttach, mSMBCopy, mPsexec, mSpooler, mWPAD, mARP, mProxied, mDrop *obs.Counter
+	mAttach, mSMBCopy, mPsexec, mSpooler, mWPAD, mARP, mProxied, mDrop, mRDP *obs.Counter
 }
 
 // Impairment degrades a LAN segment: Loss is the probability one
@@ -114,6 +114,7 @@ func NewLAN(k *sim.Kernel, name, subnet string, uplink *Internet) *LAN {
 		mARP:     m.Counter("lan.arp.poison"),
 		mProxied: m.Counter("lan.http.proxied"),
 		mDrop:    m.Counter("lan.impair.drop"),
+		mRDP:     m.Counter("lan.rdp.login"),
 	}
 }
 
@@ -319,6 +320,31 @@ func (l *LAN) CopyToShare(from *host.Host, target, remotePath string, data []byt
 		fmt.Sprintf("smb copy to \\\\%s%s (%d bytes)", target, remotePath, len(data)),
 		obs.T("target", target), obs.Ti("bytes", int64(len(data))))
 	return n.Host.FS.WriteShared(remotePath, data, 0, l.K.Now())
+}
+
+// RDPLogin models a credentialed remote-desktop session from one host to
+// another — the lateral-movement step the CNI intrusions used with stolen
+// accounts. It performs no execution itself; what it leaves behind is the
+// Event-1149 analog in the trace, the telemetry detection rules burst on.
+func (l *LAN) RDPLogin(from *host.Host, target, user string) error {
+	if from.Down {
+		return fmt.Errorf("%w: %s", host.ErrHostDown, from.Name)
+	}
+	n := l.Node(target)
+	if n == nil {
+		return fmt.Errorf("%w: %s", ErrNoSuchHost, target)
+	}
+	if n.Host.Down {
+		return fmt.Errorf("%w: %s", host.ErrHostDown, target)
+	}
+	if l.dropped("rdp", from.Name) {
+		return fmt.Errorf("%w: rdp to %s", ErrPacketLoss, target)
+	}
+	l.mRDP.Inc()
+	l.K.Trace().Emit(l.K.Now(), sim.CatNetwork, from.Name,
+		fmt.Sprintf("rdp login to %s as %s", target, user),
+		obs.T("target", target), obs.T("user", user))
+	return nil
 }
 
 // RemoteExec launches an executable already present on the target (the

@@ -2,10 +2,10 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
 	"strconv"
 	"time"
 )
@@ -137,20 +137,67 @@ func WriteJSONL(w io.Writer, events []Event) error {
 
 // jsonlEvent mirrors the AppendJSONL wire shape for decoding.
 type jsonlEvent struct {
-	T      time.Time         `json:"t"`
-	Seq    uint64            `json:"seq"`
-	Cat    string            `json:"cat"`
-	Actor  string            `json:"actor"`
-	Msg    string            `json:"msg"`
-	Span   uint64            `json:"span"`
-	Parent uint64            `json:"parent"`
-	Tags   map[string]string `json:"tags"`
+	T      time.Time `json:"t"`
+	Seq    uint64    `json:"seq"`
+	Cat    string    `json:"cat"`
+	Actor  string    `json:"actor"`
+	Msg    string    `json:"msg"`
+	Span   uint64    `json:"span"`
+	Parent uint64    `json:"parent"`
+	Tags   jsonTags  `json:"tags"`
 }
 
-// ParseJSONL decodes a JSONL event stream produced by WriteJSONL. Tag
-// insertion order is not preserved by JSON objects, so tags come back
-// sorted by key — a deterministic order, just not the emission order.
-// Blank lines are skipped; a malformed line fails with its line number.
+// jsonTags decodes a JSON tags object into an ordered []Tag. A
+// map[string]string here would silently collapse repeated keys (events
+// legally carry them — two `target` tags on one fan-out record, say)
+// and shuffle emission order; walking the raw tokens keeps the decode a
+// faithful inverse of AppendJSONL.
+type jsonTags []Tag
+
+func (jt *jsonTags) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if tok == nil { // JSON null: no tags
+		*jt = nil
+		return nil
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return fmt.Errorf("tags: expected object, got %v", tok)
+	}
+	var out []Tag
+	for dec.More() {
+		kTok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		k, ok := kTok.(string)
+		if !ok {
+			return fmt.Errorf("tags: non-string key %v", kTok)
+		}
+		vTok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		v, ok := vTok.(string)
+		if !ok {
+			return fmt.Errorf("tags: non-string value %v for key %q", vTok, k)
+		}
+		out = append(out, Tag{K: k, V: v})
+	}
+	if _, err := dec.Token(); err != nil { // consume closing '}'
+		return err
+	}
+	*jt = out
+	return nil
+}
+
+// ParseJSONL decodes a JSONL event stream produced by WriteJSONL. Tags
+// come back in wire order with repeated keys intact, so
+// WriteJSONL → ParseJSONL → WriteJSONL is byte-identical. Blank lines
+// are skipped; a malformed or over-long line fails with its line number.
 func ParseJSONL(r io.Reader) ([]Event, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -166,25 +213,15 @@ func ParseJSONL(r io.Reader) ([]Event, error) {
 		if err := json.Unmarshal(line, &je); err != nil {
 			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
 		}
-		e := Event{
+		out = append(out, Event{
 			At: je.T, Seq: je.Seq, Cat: je.Cat, Actor: je.Actor, Msg: je.Msg,
-			Span: Span(je.Span), Parent: Span(je.Parent),
-		}
-		if len(je.Tags) > 0 {
-			keys := make([]string, 0, len(je.Tags))
-			for k := range je.Tags {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			e.Tags = make([]Tag, len(keys))
-			for i, k := range keys {
-				e.Tags[i] = Tag{K: k, V: je.Tags[k]}
-			}
-		}
-		out = append(out, e)
+			Span: Span(je.Span), Parent: Span(je.Parent), Tags: []Tag(je.Tags),
+		})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("obs: scan: %w", err)
+		// The scanner stops at the first bad line: the one after the
+		// last line it delivered.
+		return nil, fmt.Errorf("obs: line %d: scan: %w", lineNo+1, err)
 	}
 	return out, nil
 }

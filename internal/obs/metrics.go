@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -50,8 +51,14 @@ type Histogram struct {
 	count  uint64
 }
 
-// Observe records one value.
+// Observe records one value. NaN is an authoring error — every bucket
+// comparison against NaN is false, so it would land in bucket 0 and
+// poison sum (and everything downstream of snapshot merge/diff) — so it
+// panics, mirroring Counter.Add on negative deltas.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		panic("obs: NaN histogram observation")
+	}
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++

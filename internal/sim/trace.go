@@ -31,6 +31,7 @@ const (
 	CatUSB       Category = "usb"       // removable media activity
 	CatFault     Category = "fault"     // injected adversity (takedown, crash, sweep)
 	CatKernel    Category = "kernel"    // scheduler internals (WithKernelEvents)
+	CatAlert     Category = "alert"     // detection rule firing (internal/detect)
 )
 
 // Record is one structured trace entry: a timestamped, tagged event.
@@ -82,6 +83,8 @@ type Trace struct {
 
 	ambient obs.Span // stamped onto every Emit/Add record
 	spans   []Record // span-opening records, seq-ascending, never evicted
+
+	sinks []func(Record) // live subscribers, called on every record
 }
 
 // NewTrace returns a trace holding at most capacity records.
@@ -99,6 +102,20 @@ func NewTrace(capacity int) *Trace {
 // still accumulate while muted; benchmarks use this to avoid log churn.
 func (t *Trace) SetMuted(m bool) { t.muted = m }
 
+// Subscribe registers a sink called synchronously with every record as
+// it is emitted — ring eviction and muting do not apply, so a live
+// detector sees the full stream even at fleet scale. Sinks run on the
+// emitting goroutine in emission order; a sink that emits back into the
+// trace (an alert, say) must guard against re-entering itself.
+func (t *Trace) Subscribe(fn func(Record)) { t.sinks = append(t.sinks, fn) }
+
+// publish fans a freshly-stamped record out to subscribers.
+func (t *Trace) publish(r Record) {
+	for _, fn := range t.sinks {
+		fn(r)
+	}
+}
+
 // Add appends a record built from a format string.
 func (t *Trace) Add(at time.Time, cat Category, actor, format string, args ...any) {
 	msg := format
@@ -114,14 +131,17 @@ func (t *Trace) Add(at time.Time, cat Category, actor, format string, args ...an
 func (t *Trace) Emit(at time.Time, cat Category, actor, msg string, tags ...obs.Tag) {
 	t.counts[cat]++
 	t.seq++
-	if t.muted {
-		return
+	rec := Record{At: at, Seq: t.seq, Cat: cat, Actor: actor, Message: msg, Span: t.ambient, Tags: tags}
+	if !t.muted {
+		t.records[t.next] = rec
+		t.next++
+		if t.next == len(t.records) {
+			t.next = 0
+			t.full = true
+		}
 	}
-	t.records[t.next] = Record{At: at, Seq: t.seq, Cat: cat, Actor: actor, Message: msg, Span: t.ambient, Tags: tags}
-	t.next++
-	if t.next == len(t.records) {
-		t.next = 0
-		t.full = true
+	if len(t.sinks) > 0 {
+		t.publish(rec)
 	}
 }
 
@@ -132,13 +152,16 @@ func (t *Trace) Emit(at time.Time, cat Category, actor, msg string, tags ...obs.
 func (t *Trace) EmitSpan(at time.Time, cat Category, actor, msg string, span, parent obs.Span, tags ...obs.Tag) {
 	t.counts[cat]++
 	t.seq++
-	if t.muted {
-		return
-	}
-	t.spans = append(t.spans, Record{
+	rec := Record{
 		At: at, Seq: t.seq, Cat: cat, Actor: actor, Message: msg,
 		Span: span, Parent: parent, Tags: tags,
-	})
+	}
+	if !t.muted {
+		t.spans = append(t.spans, rec)
+	}
+	if len(t.sinks) > 0 {
+		t.publish(rec)
+	}
 }
 
 // Count returns how many records of the category were ever added.
