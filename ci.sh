@@ -33,8 +33,9 @@ go test -race ./internal/sim ./internal/netsim ./internal/cnc ./internal/faults
 
 # Detect lane: the streaming engine subscribes to the live trace from
 # inside experiment worlds, so it and the CNI campaign run under -race
-# alongside the substrate they hook.
-go test -race ./internal/detect ./internal/malware/cni
+# alongside the substrate they hook. The user-activity layer feeds both
+# (noise floor for D4/D5), so it rides in the same lane.
+go test -race ./internal/detect ./internal/malware/cni ./internal/users
 go test -race -run 'Fault|Resilience' ./internal/core ./internal/netsim ./internal/cnc ./internal/faults
 
 # Bench lane: compile and run every obs/provenance benchmark once, so a
@@ -53,7 +54,11 @@ go run ./cmd/benchjson -check BENCH_C7.json -require "$bench_req" -min-bytes-rat
 tmp_bench=$(mktemp)
 go test -run '^$' -bench 'SeedDocuments|CheckWipeLazy' -benchmem ./internal/host | tee -a "$tmp_bench"
 go test -run '^$' -bench 'ScheduleFire|ScheduleCancel' -benchtime=0.2s -benchmem ./internal/sim | tee -a "$tmp_bench"
-go test -run '^$' -bench 'ClaimC7Reduced|ClaimC7AramcoScale' -benchtime=1x -benchmem . | tee -a "$tmp_bench"
+# UsersC7BusyReduced is the populated twin of ClaimC7Reduced: its B/op
+# next to the silent number is the machine-checkable form of ISSUE 7's
+# "busy fleet within 1.3x of the silent baseline" bound (the full-scale
+# assertion lives in TestBusyFleetMemoryBound).
+go test -run '^$' -bench 'ClaimC7Reduced|ClaimC7AramcoScale|UsersC7BusyReduced' -benchtime=1x -benchmem . | tee -a "$tmp_bench"
 go run ./cmd/benchjson -o BENCH_C7.json -label after \
     -require "$bench_req" -min-bytes-ratio ClaimC7Reduced=2 < "$tmp_bench"
 rm -f "$tmp_bench"
@@ -104,6 +109,20 @@ if ! diff -u examples/detect/d1-alerts.jsonl "$tmp_dot"; then
     echo "D1 alert stream drifted; regenerate with:" >&2
     echo "  go run ./cmd/cyberlab -run D1 -trace d1.jsonl" >&2
     echo "  go run ./cmd/cyberlab detect -in d1.jsonl -o examples/detect/d1-alerts.jsonl" >&2
+    exit 1
+fi
+
+# Noise drift gate: the first 40 benign user-activity breadcrumbs of D5's
+# exported trace — the committed sample of the users.<noun>.<verb> stream
+# the noise-floor measurement runs on — must reproduce byte-for-byte.
+go run ./cmd/cyberlab -run D5 -trace "$tmp_trace" >/dev/null
+# (single awk, not `grep | head`: head's early exit would SIGPIPE grep
+# and trip pipefail)
+awk '/"cat":"user"/ { print; if (++n == 40) exit }' "$tmp_trace" >"$tmp_dot"
+if ! diff -u examples/users/d5-noise.jsonl "$tmp_dot"; then
+    echo "D5 noise stream drifted; regenerate with:" >&2
+    echo "  go run ./cmd/cyberlab -run D5 -trace d5.jsonl" >&2
+    echo "  grep '\"cat\":\"user\"' d5.jsonl | head -40 > examples/users/d5-noise.jsonl" >&2
     exit 1
 fi
 

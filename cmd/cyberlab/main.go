@@ -1,8 +1,9 @@
 // Command cyberlab runs the paper-reproduction experiments: every figure
 // (F1–F6), every quantitative claim (C1–C11), the Section-V trend
-// taxonomy (T1), the ablations (A1–A3), the extensions (E1–E4) and the
+// taxonomy (T1), the ablations (A1–A3), the extensions (E1–E4), the
 // campaign-resilience series (R1–R5) driven by the fault-injection
-// engine. See DESIGN.md for the index.
+// engine, and the detection series (D1–D5) including the populated-fleet
+// precision/noise-floor measurements. See DESIGN.md for the index.
 //
 // Usage:
 //
@@ -10,6 +11,7 @@
 //	cyberlab -run F1 [-seed 7]
 //	cyberlab -run F2,F3,C1 [-parallel 2]
 //	cyberlab -run R1..R5 [-faults chaos]
+//	cyberlab -run D1 [-activity enterprise]
 //	cyberlab -all [-parallel 8] [-trace t.jsonl] [-metrics m.json]
 //	cyberlab -all -seeds 1..16 [-parallel 8]
 //	cyberlab -report [-o EXPERIMENTS.md]
@@ -21,6 +23,12 @@
 // under (none, light, takedown, chaos; default takedown). The profile is
 // part of the determinism contract: a fixed seed and profile produce
 // byte-identical reports, traces and metrics at any -parallel width.
+//
+// -activity populates scenario fleets (the Aramco and CNI worlds) with
+// the benign user-activity layer (internal/users, DESIGN.md §11): none,
+// office, developer, kiosk, or enterprise. The default is none — the
+// historical silent fleets. D4/D5 always run populated regardless of the
+// flag; like -faults, the mix is part of the determinism contract.
 //
 // -parallel fans experiments out across a worker pool; the report, trace
 // and metrics outputs are byte-identical to a sequential run because each
@@ -95,6 +103,7 @@ func run(args []string) error {
 		traceOut   = fs.String("trace", "", "write retained trace events to this file as JSONL")
 		metricsOut = fs.String("metrics", "", "write the merged metrics snapshot to this file as JSON")
 		faultsProf = fs.String("faults", "", "adversity profile for the R-series experiments (none, light, takedown, chaos)")
+		activity   = fs.String("activity", "", "benign user-activity mix for scenario fleets (none, office, developer, kiosk, enterprise)")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProf    = fs.String("memprofile", "", "write a heap profile to this file when the run finishes")
 	)
@@ -102,6 +111,9 @@ func run(args []string) error {
 		return err
 	}
 	if err := core.SetFaultProfile(*faultsProf); err != nil {
+		return err
+	}
+	if err := core.SetActivityMix(*activity); err != nil {
 		return err
 	}
 	if *parallel < 1 {
@@ -165,9 +177,13 @@ func run(args []string) error {
 		}
 		return nil
 	case *rules:
+		fmt.Printf("%-22s %-9s %-12s %s\n", "rule", "kind", "scope", "description")
 		for _, r := range detect.CNIRulePack() {
-			fmt.Printf("%-22s %-9s %s\n", r.Name, ruleKind(r), r.Desc)
+			fmt.Printf("%-22s %-9s %-12s %s\n", r.Name, ruleKind(r), r.Scope, r.Desc)
 		}
+		fmt.Println("\nscope is the D2 transfer result: behavioural rules key on attacker technique and fire on")
+		fmt.Println("weapons they were never written for; campaign rules key on CNI artifacts and stay silent")
+		fmt.Println("elsewhere (run `cyberlab -run D2`; D4/D5 price each scope against benign noise).")
 		return nil
 	case *seeds != "":
 		if *traceOut != "" {

@@ -8,6 +8,15 @@
 // reproduces every figure and quantitative claim in the paper as an
 // executable experiment.
 //
+// Beyond the paper's own artefacts the range carries a streaming
+// detection engine (internal/detect) hunting a modeled CNI espionage
+// campaign, and a deterministic benign user-activity layer
+// (internal/users) that populates fleets with office/admin/developer/
+// kiosk rhythms so detection content is priced against a measured
+// noise floor — the D1-D5 experiment series, including per-rule
+// precision/recall under noise (D4) and the pure-noise false-positive
+// floor (D5).
+//
 // See DESIGN.md for the system inventory and experiment index,
 // EXPERIMENTS.md for paper-vs-measured results, and the examples/
 // directory for runnable scenarios. The benchmark harness in bench_test.go

@@ -1,0 +1,41 @@
+package core
+
+import "repro/internal/users"
+
+// activityMix is the process-wide default benign-activity mix, applied
+// to any fleet whose options leave Activity unset. `cyberlab -activity`
+// sets it; experiments that need a populated world (D4/D5) pass an
+// explicit mix instead so their results don't depend on the flag.
+var activityMix users.Mix
+
+// SetActivityMix installs the global default mix by name. "" and "none"
+// both clear it (silent fleets, the historical default).
+func SetActivityMix(name string) error {
+	if name == "" {
+		activityMix = ""
+		return nil
+	}
+	m, err := users.ParseMix(name)
+	if err != nil {
+		return err
+	}
+	activityMix = m
+	return nil
+}
+
+// fleetMix resolves a scenario's Activity option against the global
+// default: an explicit option wins (users.MixNone forces silence even
+// under a global default); the zero value defers to SetActivityMix.
+// Returns "" when no population should be attached.
+func fleetMix(opt users.Mix) users.Mix {
+	if opt == users.MixNone {
+		return ""
+	}
+	if opt != "" {
+		return opt
+	}
+	if activityMix == users.MixNone {
+		return ""
+	}
+	return activityMix
+}

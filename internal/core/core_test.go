@@ -12,8 +12,8 @@ import (
 // TestExperimentRegistryComplete checks the index matches DESIGN.md.
 func TestExperimentRegistryComplete(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 33 {
-		t.Fatalf("experiments = %d, want 33", len(ids))
+	if len(ids) != 35 {
+		t.Fatalf("experiments = %d, want 35", len(ids))
 	}
 	for _, id := range ids {
 		if Experiments[id] == nil {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/plc"
 	"repro/internal/sim"
 	"repro/internal/usb"
+	"repro/internal/users"
 )
 
 // RunC1ZeroDays verifies the "four zero-day exploits" claim: MS10-046
@@ -372,8 +373,14 @@ func runAramcoScale(seed uint64, fleet int) (*Result, error) {
 // RunAramcoScaleN is the C7 runner with its fleet size, build-worker
 // count, and seeding mode exposed. Reports are byte-identical across any
 // workers value and across eager/lazy seeding — the property the
-// determinism tests and the bench lane pin.
+// determinism tests and the bench lane pin. The fleet is explicitly
+// silent (users.MixNone) so the frozen BENCH_C7.json baseline is immune
+// to the -activity global; RunAramcoBusyN is the populated twin.
 func RunAramcoScaleN(seed uint64, fleet, workers int, eagerDocs bool) (*Result, error) {
+	return runAramcoScaleMix(seed, fleet, workers, eagerDocs, users.MixNone)
+}
+
+func runAramcoScaleMix(seed uint64, fleet, workers int, eagerDocs bool, mix users.Mix) (*Result, error) {
 	start := shamoon.AramcoTrigger.Add(-24 * time.Hour)
 	w, err := NewWorld(WorldConfig{Seed: seed, Start: start, MuteTrace: true})
 	if err != nil {
@@ -386,6 +393,7 @@ func RunAramcoScaleN(seed uint64, fleet, workers int, eagerDocs bool) (*Result, 
 		LeanImages:   true,
 		BuildWorkers: workers,
 		EagerDocs:    eagerDocs,
+		Activity:     mix,
 	})
 	if err != nil {
 		return nil, err
@@ -415,6 +423,10 @@ func RunAramcoScaleN(seed uint64, fleet, workers int, eagerDocs bool) (*Result, 
 		}
 	}
 	res.metric("wiped_before_trigger", float64(wipedBefore), "hosts")
+	if sc.Users != nil {
+		res.metric("benign_agents", float64(sc.Users.Stats.Agents), "agents")
+		res.metric("benign_actions", float64(sc.Users.Stats.Actions()), "actions")
+	}
 	res.Pass = sc.Shamoon.InfectedCount() == fleet && sc.WipedCount() == fleet && wipedBefore == 0
 	res.summaryf("%d/%d workstations infected and left unbootable; 0 wiped before the hardcoded trigger instant",
 		sc.WipedCount(), fleet)

@@ -150,13 +150,17 @@ func RunD2CrossCampaign(seed uint64) (*Result, error) {
 		return nil, err
 	}
 
-	behavioural := map[string]bool{"psexec-remote-exec": true, "psexec-fanout": true}
-	behaviouralFired, specificFired := 0, 0
+	// The pack's own Scope metadata is the prediction; this experiment is
+	// the measurement that keeps it honest.
+	behaviouralTotal, behaviouralFired, specificFired := 0, 0, 0
 	for _, r := range en.Rules() {
+		if r.Scope == detect.ScopeBehavioural {
+			behaviouralTotal++
+		}
 		if en.FireCount(r.Name) == 0 {
 			continue
 		}
-		if behavioural[r.Name] {
+		if r.Scope == detect.ScopeBehavioural {
 			behaviouralFired++
 		} else {
 			specificFired++
@@ -175,9 +179,9 @@ func RunD2CrossCampaign(seed uint64) (*Result, error) {
 	res.metric("specific_rules_fired", float64(specificFired), "rules")
 	res.metric("alerts", float64(len(en.Alerts())), "alerts")
 	res.Pass = ar.Shamoon.InfectedCount() > 1 &&
-		behaviouralFired == len(behavioural) && specificFired == 0
+		behaviouralFired == behaviouralTotal && specificFired == 0
 	res.summaryf("against Shamoon only the %d behavioural PsExec rules fired (%d alerts); all %d campaign-specific CNI rules stayed silent",
-		behaviouralFired, len(en.Alerts()), len(en.Rules())-len(behavioural))
+		behaviouralFired, len(en.Alerts()), len(en.Rules())-behaviouralTotal)
 	res.notef("the split is the point: telemetry-shape rules buy cross-weapon coverage, IOC-shaped rules buy precision")
 	res.block(ruleCoverageBlock(en, start))
 	res.CaptureObs(w.K)

@@ -186,6 +186,8 @@ var Experiments = map[string]Runner{
 	"D1":  RunD1CNIDetection,
 	"D2":  RunD2CrossCampaign,
 	"D3":  RunD3FalsePositives,
+	"D4":  RunD4NoisyPrecision,
+	"D5":  RunD5NoiseFloor,
 }
 
 // ExperimentIDs returns all experiment IDs in report order.
@@ -196,7 +198,7 @@ func ExperimentIDs() []string {
 		"T1", "A1", "A2", "A3",
 		"E1", "E2", "E3", "E4",
 		"R1", "R2", "R3", "R4", "R5",
-		"D1", "D2", "D3",
+		"D1", "D2", "D3", "D4", "D5",
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/pki"
 	"repro/internal/plc"
 	"repro/internal/usb"
+	"repro/internal/users"
 )
 
 // NatanzScenario is the Fig. 1 world: an enrichment plant with its
@@ -220,6 +221,8 @@ type AramcoScenario struct {
 	Shamoon  *shamoon.Shamoon
 	Reports  []*netsim.Request
 	Patient0 *host.Host
+	// Users is the benign population (nil for a silent fleet).
+	Users *users.Population
 }
 
 // AramcoOptions tweak the scenario.
@@ -238,6 +241,10 @@ type AramcoOptions struct {
 	// are byte-equivalent (DESIGN.md §9) and this exists for the
 	// equivalence tests.
 	EagerDocs bool
+	// Activity selects the benign user-activity mix for the fleet
+	// (DESIGN.md §11). Zero defers to the -activity global; users.MixNone
+	// forces a silent fleet.
+	Activity users.Mix
 }
 
 // BuildAramco assembles the scenario on an existing world. Patient zero is
@@ -298,6 +305,14 @@ func BuildAramco(w *World, opts AramcoOptions) (*AramcoScenario, error) {
 	if sc.Hosts, err = w.AddHostsSharded(sc.LAN, opts.BuildWorkers, specs); err != nil {
 		return nil, err
 	}
+	// The benign population attaches in the sequential phase after the
+	// sharded merge, so agent RNG forks happen in host-index order and
+	// the activity stream is invariant under BuildWorkers.
+	if mix := fleetMix(opts.Activity); mix != "" {
+		if sc.Users, err = users.Attach(w.K, sc.LAN, w.Internet, sc.Hosts, users.Config{Mix: mix}); err != nil {
+			return nil, err
+		}
+	}
 	sc.Patient0 = sc.Hosts[0]
 	if _, err := sc.Patient0.Execute(sh.MainImage, true); err != nil {
 		return nil, fmt.Errorf("infect patient zero: %w", err)
@@ -318,6 +333,9 @@ type CNIScenario struct {
 	CNI          *cni.CNI
 	// Engine is the live detection engine (nil unless Rules were given).
 	Engine *detect.Engine
+	// Users is the benign population on the workstations (nil for a
+	// silent enclave).
+	Users *users.Population
 }
 
 // CNIOptions tweak the scenario.
@@ -330,6 +348,10 @@ type CNIOptions struct {
 	// Rules, when non-empty, attaches a streaming detect.Engine to the
 	// kernel before any campaign activity, so the rules see every event.
 	Rules []detect.Rule
+	// Activity selects the benign user-activity mix for the workstation
+	// fleet (DESIGN.md §11). Zero defers to the -activity global;
+	// users.MixNone forces a silent enclave.
+	Activity users.Mix
 }
 
 // BuildCNI assembles the scenario on an existing world. Nothing is
@@ -377,6 +399,13 @@ func BuildCNI(w *World, opts CNIOptions) (*CNIScenario, error) {
 		sc.Workstations = append(sc.Workstations,
 			w.AddHost(sc.LAN, fmt.Sprintf("CNI-WS-%02d", i+1),
 				host.WithShares(true), host.WithInternet(true)))
+	}
+	// Benign population on the workstations only — the IIS entry host
+	// serves content, nobody does desk work on it.
+	if mix := fleetMix(opts.Activity); mix != "" {
+		if sc.Users, err = users.Attach(w.K, sc.LAN, w.Internet, sc.Workstations, users.Config{Mix: mix}); err != nil {
+			return nil, err
+		}
 	}
 	return sc, nil
 }

@@ -15,6 +15,15 @@
 // of the triggering event, so alerts join the provenance forest
 // (DESIGN.md §7): Chain() walks from an alert back through the infection
 // chain that tripped it.
+//
+// Scoring is noise-aware: rules carry a Scope (behavioural vs
+// campaign-artifact, the D2 transfer result), and the benign
+// user-activity layer (internal/users) emits the same substrate
+// telemetry attackers do, so D4 measures per-rule precision/recall on a
+// populated fleet and D5 measures the pack's pure-noise false-positive
+// floor. Because benign actions are span-attributed too, a false
+// positive's chain terminates at a users.session root rather than an
+// intrusion root — that root is the TP/FP oracle (DESIGN.md §11).
 package detect
 
 import (
@@ -114,14 +123,34 @@ type Sequence struct {
 	PerActor bool
 }
 
+// Scope classifies what a rule keys on — measured, not asserted: D2
+// replays every other weapon's trace through the pack and counts which
+// rules transfer, and D4/D5 price each scope's false-positive surface
+// against the benign user-activity layer.
+type Scope string
+
+const (
+	// ScopeBehavioural rules key on attacker technique (remote service
+	// execution, fan-out rates) and fire on any campaign using it — and,
+	// symmetrically, on the benign admin who shares the technique (the
+	// D5 noise floor).
+	ScopeBehavioural Scope = "behavioural"
+	// ScopeCampaign rules key on campaign-specific artifacts (file
+	// names, paths, beacon cadence) — silent on other weapons in D2 and
+	// on pure noise in D5, blind to a re-tooled attacker.
+	ScopeCampaign Scope = "campaign"
+)
+
 // Rule is one detection: exactly one of Match, Threshold, Sequence must
 // be set. Name must use the metric charset (lowercase words, digits,
 // '.', '_', '-') because each rule owns a detect.rule.<name>.fire
 // counter. Cooldown suppresses re-firing for the same key (actor, or
 // globally for non-per-actor rules) within the given virtual interval.
+// Scope is advisory metadata for scoring (the engine ignores it).
 type Rule struct {
 	Name      string
 	Desc      string
+	Scope     Scope
 	Match     *Predicate
 	Threshold *Threshold
 	Sequence  *Sequence

@@ -15,24 +15,27 @@ import "time"
 func CNIRulePack() []Rule {
 	return []Rule{
 		{
-			Name: "webshell-write",
-			Desc: "web shell dropped into an IIS content directory (UpdateChecker.aspx pattern)",
+			Name:  "webshell-write",
+			Desc:  "web shell dropped into an IIS content directory (UpdateChecker.aspx pattern)",
+			Scope: ScopeCampaign,
 			Match: &Predicate{
 				Cat:         "exploit",
 				MsgContains: "webshell written",
 			},
 		},
 		{
-			Name: "webshell-exec",
-			Desc: "IIS worker executing an .aspx payload as a process",
+			Name:  "webshell-exec",
+			Desc:  "IIS worker executing an .aspx payload as a process",
+			Scope: ScopeCampaign,
 			Match: &Predicate{
 				Cat:  "exec",
 				Tags: []TagMatch{{K: "image", Contains: ".aspx"}},
 			},
 		},
 		{
-			Name: "schtask-temp-image",
-			Desc: "scheduled task registered with an image under a writable Temp path (randomized-name persistence)",
+			Name:  "schtask-temp-image",
+			Desc:  "scheduled task registered with an image under a writable Temp path (randomized-name persistence)",
+			Scope: ScopeCampaign,
 			Match: &Predicate{
 				Cat:         "exec",
 				MsgContains: "task registered",
@@ -40,24 +43,27 @@ func CNIRulePack() []Rule {
 			},
 		},
 		{
-			Name: "proxy-tool-exec",
-			Desc: "known tunnelling/proxy tool executed (plink, ngrok, glider, reverse socks)",
+			Name:  "proxy-tool-exec",
+			Desc:  "known tunnelling/proxy tool executed (plink, ngrok, glider, reverse socks)",
+			Scope: ScopeCampaign,
 			Match: &Predicate{
 				Cat:  "exec",
 				Tags: []TagMatch{{K: "image", Contains: "plink"}},
 			},
 		},
 		{
-			Name: "vpn-login-external",
-			Desc: "VPN authentication from an external address with a privileged account",
+			Name:  "vpn-login-external",
+			Desc:  "VPN authentication from an external address with a privileged account",
+			Scope: ScopeCampaign,
 			Match: &Predicate{
 				Cat:         "network",
 				MsgContains: "vpn login",
 			},
 		},
 		{
-			Name: "psexec-remote-exec",
-			Desc: "remote service execution over SMB (PSEXESVC pattern)",
+			Name:  "psexec-remote-exec",
+			Desc:  "remote service execution over SMB (PSEXESVC pattern)",
+			Scope: ScopeBehavioural,
 			Match: &Predicate{
 				Cat:         "spread",
 				MsgContains: "psexec",
@@ -67,8 +73,9 @@ func CNIRulePack() []Rule {
 			Cooldown: time.Hour,
 		},
 		{
-			Name: "psexec-fanout",
-			Desc: "three or more remote executions from one source within six hours",
+			Name:  "psexec-fanout",
+			Desc:  "three or more remote executions from one source within six hours",
+			Scope: ScopeBehavioural,
 			Threshold: &Threshold{
 				Of:       Predicate{Cat: "spread", MsgContains: "psexec"},
 				Count:    3,
@@ -79,6 +86,10 @@ func CNIRulePack() []Rule {
 		{
 			Name: "rdp-login-burst",
 			Desc: "burst of outbound RDP logins from one host (Event-1149 chain)",
+			// Technique-shaped, but among the modeled weapons only the
+			// CNI campaign drives RDP at burst rates (D2: silent on
+			// Shamoon), so it scores as campaign content.
+			Scope: ScopeCampaign,
 			Threshold: &Threshold{
 				Of:       Predicate{Cat: "network", MsgContains: "rdp login"},
 				Count:    3,
@@ -87,8 +98,9 @@ func CNIRulePack() []Rule {
 			},
 		},
 		{
-			Name: "beacon-periodic",
-			Desc: "six or more C2 check-ins from one host inside a day (proxy-tool beaconing)",
+			Name:  "beacon-periodic",
+			Desc:  "six or more C2 check-ins from one host inside a day (proxy-tool beaconing)",
+			Scope: ScopeCampaign,
 			Threshold: &Threshold{
 				Of:       Predicate{Cat: "c2", MsgContains: "checked in"},
 				Count:    6,
@@ -98,8 +110,9 @@ func CNIRulePack() []Rule {
 			Cooldown: 24 * time.Hour,
 		},
 		{
-			Name: "cni-kill-chain",
-			Desc: "web shell write, then scheduled-task persistence, then lateral psexec on the same host within 72 hours",
+			Name:  "cni-kill-chain",
+			Desc:  "web shell write, then scheduled-task persistence, then lateral psexec on the same host within 72 hours",
+			Scope: ScopeCampaign,
 			Sequence: &Sequence{
 				Steps: []Predicate{
 					{Cat: "exploit", MsgContains: "webshell written"},

@@ -171,6 +171,33 @@ func (l *LAN) Peers(name string) []*host.Host {
 	return l.peersBuf
 }
 
+// PeerAt returns the i'th peer (modulo the peer count) of the named host
+// in name-sorted order — the same host Peers(name)[i%len] would yield —
+// without materializing the peer slice. High-frequency round-robin
+// callers (the user-activity layer picks one share/maintenance target
+// per action across fleet-scale LANs) use this to stay O(log n) per
+// pick instead of O(n). The name must match the attached spelling
+// exactly; returns nil when the host has no peers.
+func (l *LAN) PeerAt(name string, i int) *host.Host {
+	hs := l.hostsSorted()
+	self := sort.Search(len(hs), func(j int) bool { return hs[j].Name >= name })
+	if self < len(hs) && hs[self].Name == name {
+		n := len(hs) - 1
+		if n <= 0 || i < 0 {
+			return nil
+		}
+		j := i % n
+		if j >= self {
+			j++
+		}
+		return hs[j]
+	}
+	if len(hs) == 0 || i < 0 {
+		return nil
+	}
+	return hs[i%len(hs)]
+}
+
 // --- HTTP through the LAN (honouring proxy settings) ---
 
 // HTTP issues an HTTP request from a host. If the host has a ProxyHost

@@ -121,3 +121,38 @@ func BenchmarkLANPeers512(b *testing.B) {
 		}
 	}
 }
+
+// TestPeerAtMatchesPeers pins PeerAt's contract: for every host and
+// rotation index it returns exactly Peers(name)[i%len(peers)], without
+// building the slice.
+func TestPeerAtMatchesPeers(t *testing.T) {
+	k := testKernel()
+	l := NewLAN(k, "office", "10.0.0", nil)
+	var hosts []*host.Host
+	for _, name := range []string{"GAMMA", "ALPHA", "DELTA", "BETA", "EPSILON"} {
+		h := host.New(k, name)
+		l.Attach(h)
+		hosts = append(hosts, h)
+	}
+	for _, h := range hosts {
+		peers := append([]*host.Host(nil), l.Peers(h.Name)...)
+		for i := 0; i < 12; i++ {
+			want := peers[i%len(peers)]
+			if got := l.PeerAt(h.Name, i); got != want {
+				t.Fatalf("PeerAt(%s, %d) = %v, want %s", h.Name, i, got, want.Name)
+			}
+		}
+	}
+	if got := l.PeerAt("GHOST", 3); got == nil {
+		t.Fatal("unknown name should still rotate over the full host list")
+	}
+	if got := l.PeerAt("ALPHA", -1); got != nil {
+		t.Fatalf("negative index should return nil, got %v", got)
+	}
+	solo := NewLAN(k, "solo", "10.0.9", nil)
+	only := host.New(k, "ONLY")
+	solo.Attach(only)
+	if got := solo.PeerAt("ONLY", 0); got != nil {
+		t.Fatalf("peerless host should get nil, got %v", got)
+	}
+}

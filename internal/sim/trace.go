@@ -32,6 +32,7 @@ const (
 	CatFault     Category = "fault"     // injected adversity (takedown, crash, sweep)
 	CatKernel    Category = "kernel"    // scheduler internals (WithKernelEvents)
 	CatAlert     Category = "alert"     // detection rule firing (internal/detect)
+	CatUser      Category = "user"      // benign user activity (internal/users)
 )
 
 // Record is one structured trace entry: a timestamped, tagged event.
@@ -101,6 +102,15 @@ func NewTrace(capacity int) *Trace {
 // SetMuted disables (true) or enables (false) record retention. Counters
 // still accumulate while muted; benchmarks use this to avoid log churn.
 func (t *Trace) SetMuted(m bool) { t.muted = m }
+
+// Live reports whether an emitted record would be observed by anyone:
+// retained (unmuted) or forwarded to a subscriber. High-volume emitters
+// of purely observational records — the benign user-activity layer emits
+// one breadcrumb per action across tens of thousands of hosts — check
+// this before paying for message formatting, so muted fleet benchmarks
+// skip the cost entirely. Substrate events must NOT be gated on it:
+// their counters and side effects are part of the simulation.
+func (t *Trace) Live() bool { return !t.muted || len(t.sinks) > 0 }
 
 // Subscribe registers a sink called synchronously with every record as
 // it is emitted — ring eviction and muting do not apply, so a live
