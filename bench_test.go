@@ -123,18 +123,51 @@ func BenchmarkClaimC6Suicide(b *testing.B) {
 	benchExperiment(b, "C6", "artefacts_before", "artefacts_after")
 }
 
+// reportNsPerHostEvent divides the bench's wall clock by the fired
+// kernel events accumulated across its iterations and reports the
+// quotient as ns/host-event — the fleet-scale unit cost BENCH_C7.json
+// gates (a wall-clock metric, so it rides in the benchmark stream, never
+// in the drift-gated artefacts; see DESIGN.md §12).
+func reportNsPerHostEvent(b *testing.B, events float64) {
+	b.Helper()
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/events, "ns/host-event")
+	}
+}
+
 // BenchmarkClaimC7AramcoScale runs the full 30,000-workstation fleet —
 // the repository's heaviest workload (~7 s, ~1 GB per iteration).
 func BenchmarkClaimC7AramcoScale(b *testing.B) {
-	benchExperiment(b, "C7", "fleet_size", "wiped_unbootable")
+	runner := core.Experiments["C7"]
+	var events float64
+	var last *core.Result
+	for i := 0; i < b.N; i++ {
+		res, err := runner(uint64(1 + i))
+		if err != nil {
+			b.Fatalf("C7: %v", err)
+		}
+		if !res.Pass {
+			b.Fatalf("C7 did not reproduce:\n%s", res.Render())
+		}
+		events += res.Obs.Counters["sim.event.execute"]
+		last = res
+	}
+	for _, m := range []string{"fleet_size", "wiped_unbootable"} {
+		if v, ok := last.Metric(m); ok {
+			b.ReportMetric(v, m)
+		}
+	}
+	reportNsPerHostEvent(b, events)
 }
 
 // BenchmarkClaimC7Reduced is the 2,000-workstation slice of C7 that the
 // ci.sh bench lane runs with -benchmem: small enough for CI, large enough
 // that the fleet-scale allocation profile (document seeding, image drops,
-// timer churn) dominates. BENCH_C7.json records its trajectory.
+// timer churn) dominates. BENCH_C7.json records its trajectory, including
+// the ns/host-event unit cost.
 func BenchmarkClaimC7Reduced(b *testing.B) {
 	b.ReportAllocs()
+	var events float64
 	for i := 0; i < b.N; i++ {
 		res, err := core.RunAramcoScaleN(uint64(1+i), 2000, 0, false)
 		if err != nil {
@@ -143,7 +176,9 @@ func BenchmarkClaimC7Reduced(b *testing.B) {
 		if !res.Pass {
 			b.Fatalf("C7 reduced did not reproduce:\n%s", res.Render())
 		}
+		events += res.Obs.Counters["sim.event.execute"]
 	}
+	reportNsPerHostEvent(b, events)
 }
 
 func BenchmarkClaimC8JPEGBug(b *testing.B) {

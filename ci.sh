@@ -38,6 +38,14 @@ go test -race ./internal/sim ./internal/netsim ./internal/cnc ./internal/faults
 go test -race ./internal/detect ./internal/malware/cni ./internal/users
 go test -race -run 'Fault|Resilience' ./internal/core ./internal/netsim ./internal/cnc ./internal/faults
 
+# Runstats race lane (DESIGN.md §12): the wall-clock telemetry collector
+# is fed concurrently by every kernel probe plus the progress ticker
+# goroutine, so the collector package and the determinism-isolation
+# property test (telemetry on, workers 1/4/8, byte-identical artefacts)
+# both run under -race.
+go test -race ./internal/runstats
+go test -race -run 'Runstats' ./internal/core
+
 # Bench lane: compile and run every obs/provenance benchmark once, so a
 # benchmark that rots (or an accidental per-event allocation regression
 # caught by its companion test) fails CI rather than bitrotting.
@@ -49,8 +57,12 @@ go test -bench=. -benchtime=1x -run '^$' ./internal/obs ./internal/provenance ./
 # file must already parse with the required snapshot contents, and the
 # fresh measurement must keep the C7-reduced bytes/op win at >= 2x the
 # frozen baseline (B/op is deterministic; ns/op is allowed to vary).
+# The C7 benches must also carry the ns/host-event unit cost (DESIGN.md
+# §12); presence is gated, the value is wall-clock and free to vary.
 bench_req='SeedDocumentsEager,ScheduleFire,ScheduleCancel,ClaimC7Reduced,ClaimC7AramcoScale'
-go run ./cmd/benchjson -check BENCH_C7.json -require "$bench_req" -min-bytes-ratio ClaimC7Reduced=2
+bench_metric='ClaimC7Reduced=ns/host-event,ClaimC7AramcoScale=ns/host-event'
+go run ./cmd/benchjson -check BENCH_C7.json -require "$bench_req" \
+    -min-bytes-ratio ClaimC7Reduced=2 -require-metric "$bench_metric"
 tmp_bench=$(mktemp)
 go test -run '^$' -bench 'SeedDocuments|CheckWipeLazy' -benchmem ./internal/host | tee -a "$tmp_bench"
 go test -run '^$' -bench 'ScheduleFire|ScheduleCancel' -benchtime=0.2s -benchmem ./internal/sim | tee -a "$tmp_bench"
@@ -60,8 +72,25 @@ go test -run '^$' -bench 'ScheduleFire|ScheduleCancel' -benchtime=0.2s -benchmem
 # assertion lives in TestBusyFleetMemoryBound).
 go test -run '^$' -bench 'ClaimC7Reduced|ClaimC7AramcoScale|UsersC7BusyReduced' -benchtime=1x -benchmem . | tee -a "$tmp_bench"
 go run ./cmd/benchjson -o BENCH_C7.json -label after \
-    -require "$bench_req" -min-bytes-ratio ClaimC7Reduced=2 < "$tmp_bench"
+    -require "$bench_req" -min-bytes-ratio ClaimC7Reduced=2 -require-metric "$bench_metric" < "$tmp_bench"
 rm -f "$tmp_bench"
+
+# Telemetry lane (DESIGN.md §12): profile the full 30,000-host C7 run
+# with the live progress ticker on, and gate the shape of the wall-clock
+# manifest it emits — plane tag, kernel unit costs, phase timers, and the
+# per-experiment wall entry. Values are nondeterministic by design and
+# never compared; only presence is gated.
+tmp_manifest=$(mktemp)
+go run ./cmd/cyberlab profile -run C7 -progress -o "$tmp_manifest"
+for key in '"plane": "wall-clock"' '"events_fired"' '"ns_per_event"' \
+    '"max_queue_depth"' '"phases"' '"id": "C7"' '"wall_seconds"'; do
+    if ! grep -qF "$key" "$tmp_manifest"; then
+        echo "profile manifest is missing $key:" >&2
+        cat "$tmp_manifest" >&2
+        exit 1
+    fi
+done
+rm -f "$tmp_manifest"
 
 tmp_report=$(mktemp)
 tmp_trace=$(mktemp)
@@ -69,8 +98,10 @@ tmp_dot=$(mktemp)
 trap 'rm -f "$tmp_report" "$tmp_trace" "$tmp_dot"' EXIT
 
 # Docs drift gate: EXPERIMENTS.md is a build artefact of `cyberlab -report`.
-# Regenerate from a live run and fail if the committed copy differs.
-go run ./cmd/cyberlab -report -o "$tmp_report" >/dev/null
+# Regenerate from a live run and fail if the committed copy differs. The
+# run deliberately keeps the -progress ticker ON: a wall-clock telemetry
+# leak into the report would trip this byte-for-byte diff (DESIGN.md §12).
+go run ./cmd/cyberlab -report -progress -o "$tmp_report" >/dev/null
 if ! diff -u EXPERIMENTS.md "$tmp_report"; then
     echo "EXPERIMENTS.md drifted from the code; regenerate with:" >&2
     echo "  go run ./cmd/cyberlab -report -o EXPERIMENTS.md" >&2

@@ -18,7 +18,11 @@
 //     prefix or the -N GOMAXPROCS suffix) that every snapshot must carry;
 //   - -min-bytes-ratio NAME=R: snapshot "baseline" must allocate at least
 //     R times the bytes/op of snapshot "after" for NAME — the perf-
-//     trajectory floor (C7 demands R=2).
+//     trajectory floor (C7 demands R=2);
+//   - -require-metric NAME=METRIC[,NAME=METRIC...]: the "after" snapshot's
+//     NAME benchmark must report METRIC with a positive value. Only "after"
+//     is checked — the frozen baseline predates newer b.ReportMetric
+//     columns (ns/host-event landed with the runstats layer).
 package main
 
 import (
@@ -66,11 +70,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	var (
-		out      = fs.String("o", "", "snapshot file to update from stdin bench output")
-		label    = fs.String("label", "after", "snapshot name to (re)write in -o mode")
-		check    = fs.String("check", "", "validate an existing snapshot file instead of reading stdin")
-		require  = fs.String("require", "", "comma-separated benchmark names every snapshot must contain")
-		minRatio = fs.String("min-bytes-ratio", "", "NAME=R: baseline bytes/op must be >= R x after bytes/op")
+		out       = fs.String("o", "", "snapshot file to update from stdin bench output")
+		label     = fs.String("label", "after", "snapshot name to (re)write in -o mode")
+		check     = fs.String("check", "", "validate an existing snapshot file instead of reading stdin")
+		require   = fs.String("require", "", "comma-separated benchmark names every snapshot must contain")
+		minRatio  = fs.String("min-bytes-ratio", "", "NAME=R: baseline bytes/op must be >= R x after bytes/op")
+		reqMetric = fs.String("require-metric", "", "NAME=METRIC[,...]: after snapshot's NAME must report METRIC > 0")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -117,11 +122,12 @@ func run(args []string) error {
 			return fmt.Errorf("%s: %w", *check, err)
 		}
 	}
-	return validate(&f, path, *require, *minRatio)
+	return validate(&f, path, *require, *minRatio, *reqMetric)
 }
 
-// validate applies the -require and -min-bytes-ratio gates to f.
-func validate(f *File, path, require, minRatio string) error {
+// validate applies the -require, -min-bytes-ratio and -require-metric
+// gates to f.
+func validate(f *File, path, require, minRatio, reqMetric string) error {
 	if len(f.Snapshots) == 0 {
 		return fmt.Errorf("%s: no snapshots", path)
 	}
@@ -160,6 +166,23 @@ func validate(f *File, path, require, minRatio string) error {
 		if got := base.BytesPerOp / after.BytesPerOp; got < ratio {
 			return fmt.Errorf("%s: %s bytes/op improved only %.2fx (baseline %.0f -> after %.0f); floor is %.1fx",
 				path, name, got, base.BytesPerOp, after.BytesPerOp, ratio)
+		}
+	}
+	if reqMetric != "" {
+		after := f.Snapshots["after"]
+		for _, pair := range strings.Split(reqMetric, ",") {
+			name, metric, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok {
+				return fmt.Errorf("-require-metric wants NAME=METRIC (got %q)", pair)
+			}
+			b := findBench(after, name)
+			if b == nil {
+				return fmt.Errorf("%s: snapshot %q is missing benchmark %q (-require-metric)", path, "after", name)
+			}
+			if b.Metrics[metric] <= 0 {
+				return fmt.Errorf("%s: after snapshot's %s reports no %s metric (got %g) — its bench lost the b.ReportMetric call",
+					path, name, metric, b.Metrics[metric])
+			}
 		}
 	}
 	return nil

@@ -44,16 +44,44 @@ func snapFile(baseline, after float64) *File {
 }
 
 func TestValidateRatioGate(t *testing.T) {
-	if err := validate(snapFile(200, 99), "f", "ClaimC7Reduced", "ClaimC7Reduced=2"); err != nil {
+	if err := validate(snapFile(200, 99), "f", "ClaimC7Reduced", "ClaimC7Reduced=2", ""); err != nil {
 		t.Fatalf("2.02x improvement must pass the 2x floor: %v", err)
 	}
-	if err := validate(snapFile(200, 101), "f", "", "ClaimC7Reduced=2"); err == nil {
+	if err := validate(snapFile(200, 101), "f", "", "ClaimC7Reduced=2", ""); err == nil {
 		t.Fatal("1.98x improvement passed the 2x floor")
 	}
-	if err := validate(snapFile(200, 99), "f", "NoSuchBench", ""); err == nil {
+	if err := validate(snapFile(200, 99), "f", "NoSuchBench", "", ""); err == nil {
 		t.Fatal("missing required benchmark passed")
 	}
-	if err := validate(&File{}, "f", "", ""); err == nil {
+	if err := validate(&File{}, "f", "", "", ""); err == nil {
 		t.Fatal("empty file passed")
+	}
+}
+
+func TestValidateMetricGate(t *testing.T) {
+	f := snapFile(200, 99)
+	after := f.Snapshots["after"]
+	after.Benchmarks[0].Metrics = map[string]float64{"ns/host-event": 66000}
+	f.Snapshots["after"] = after
+
+	if err := validate(f, "f", "", "", "ClaimC7Reduced=ns/host-event"); err != nil {
+		t.Fatalf("present metric must pass: %v", err)
+	}
+	// Only "after" is checked: the frozen baseline predates the metric.
+	if _, ok := f.Snapshots["baseline"].Benchmarks[0].Metrics["ns/host-event"]; ok {
+		t.Fatal("test setup broken: baseline should lack the metric")
+	}
+	if err := validate(f, "f", "", "", "ClaimC7Reduced=no_such_metric"); err == nil {
+		t.Fatal("missing metric passed")
+	}
+	if err := validate(f, "f", "", "", "NoSuchBench=ns/host-event"); err == nil {
+		t.Fatal("missing benchmark passed the metric gate")
+	}
+	if err := validate(f, "f", "", "", "malformed-pair"); err == nil {
+		t.Fatal("malformed -require-metric accepted")
+	}
+	after.Benchmarks[0].Metrics["ns/host-event"] = 0
+	if err := validate(f, "f", "", "", "ClaimC7Reduced=ns/host-event"); err == nil {
+		t.Fatal("zero-valued metric passed")
 	}
 }

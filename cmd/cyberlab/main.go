@@ -16,6 +16,8 @@
 //	cyberlab -all -seeds 1..16 [-parallel 8]
 //	cyberlab -report [-o EXPERIMENTS.md]
 //	cyberlab -rules
+//	cyberlab -run C7 -progress
+//	cyberlab profile -run C7 [-progress] [-o manifest.json]
 //	cyberlab trace -in t.jsonl [-cat X] [-actor Y] [-tag k=v] [-chain F1/s3] [-dot out.dot]
 //	cyberlab detect -in t.jsonl [-o alerts.jsonl]
 //
@@ -41,8 +43,22 @@
 // -report renders EXPERIMENTS.md from the live run, making the committed
 // document a reproducible build artefact (ci.sh fails on drift).
 // -cpuprofile and -memprofile write pprof profiles of whatever the
-// invocation ran; both paths are validated up front so a typo fails
-// before the experiments burn wall clock.
+// invocation ran; both paths are validated up front (existence AND
+// writability of the destination) so a typo or a read-only directory
+// fails before the experiments burn wall clock.
+//
+// -progress attaches the wall-clock telemetry plane (internal/runstats,
+// DESIGN.md §12) and prints a live stderr ticker — experiments done,
+// hosts attached, virtual time reached, fired events per wall second,
+// queue depth, heap watermark — for long fleet-scale runs. The probe
+// plane is read-only: every drift-gated artefact (report, trace,
+// metrics, alerts) stays byte-identical with or without it.
+//
+// The profile subcommand runs experiments with the telemetry plane
+// enabled and emits a JSON run manifest (wall-clock totals, per-phase
+// and per-experiment breakdowns, kernel hot-loop stats, heap
+// watermarks) to stdout or -o. The manifest is explicitly marked
+// nondeterministic and is excluded from every drift gate.
 //
 // The trace subcommand reads a `-trace` JSONL export back and
 // reconstructs the causal provenance forest: who infected whom, over
@@ -73,6 +89,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/obs"
 	"repro/internal/provenance"
+	"repro/internal/runstats"
 )
 
 func main() {
@@ -88,6 +105,9 @@ func run(args []string) error {
 	}
 	if len(args) > 0 && args[0] == "detect" {
 		return runDetect(args[1:])
+	}
+	if len(args) > 0 && args[0] == "profile" {
+		return runProfile(args[1:])
 	}
 	fs := flag.NewFlagSet("cyberlab", flag.ContinueOnError)
 	var (
@@ -106,6 +126,7 @@ func run(args []string) error {
 		activity   = fs.String("activity", "", "benign user-activity mix for scenario fleets (none, office, developer, kiosk, enterprise)")
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProf    = fs.String("memprofile", "", "write a heap profile to this file when the run finishes")
+		progress   = fs.Bool("progress", false, "print a live wall-clock telemetry ticker to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -128,6 +149,14 @@ func run(args []string) error {
 		if err := validateOutPath(o.flag, o.path); err != nil {
 			return err
 		}
+	}
+	if *progress {
+		c := runstats.Enable()
+		stopTicker := c.StartProgress(os.Stderr, runstats.DefaultProgressPeriod)
+		defer func() {
+			stopTicker()
+			runstats.Disable()
+		}()
 	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -226,7 +255,10 @@ func run(args []string) error {
 	case *genReport:
 		started := time.Now()
 		reports := core.RunAllParallel(*seed, *parallel)
-		emit("%s", core.RenderExperimentsMarkdown(reports, *seed))
+		stopReport := runstats.Phase("report")
+		md := core.RenderExperimentsMarkdown(reports, *seed)
+		stopReport()
+		emit("%s", md)
 		for _, rep := range reports {
 			fmt.Fprintf(os.Stderr, "%-4s %8.3fs\n", rep.ID, rep.Wall.Seconds())
 		}
@@ -281,6 +313,90 @@ func ruleKind(r detect.Rule) string {
 	default:
 		return "single"
 	}
+}
+
+// runProfile implements `cyberlab profile`: run experiments with the
+// wall-clock telemetry plane enabled and emit the JSON run manifest.
+// Experiment reports go to stderr (summary lines only) so stdout stays
+// clean for the manifest; -o redirects the manifest to a file and
+// frees stdout. The manifest is nondeterministic by design and is
+// never drift-gated — the deterministic artefacts of the same run are
+// unchanged by profiling (the isolation property tests pin this).
+func runProfile(args []string) error {
+	fs := flag.NewFlagSet("cyberlab profile", flag.ContinueOnError)
+	var (
+		id         = fs.String("run", "", "profile these experiments, comma-separated (e.g. C7 or R1..R5)")
+		all        = fs.Bool("all", false, "profile every experiment")
+		seed       = fs.Uint64("seed", 1, "deterministic simulation seed")
+		parallel   = fs.Int("parallel", 1, "worker goroutines")
+		out        = fs.String("o", "", "write the JSON run manifest to this file (default stdout)")
+		faultsProf = fs.String("faults", "", "adversity profile for the R-series experiments")
+		activity   = fs.String("activity", "", "benign user-activity mix for scenario fleets")
+		progress   = fs.Bool("progress", false, "also print the live telemetry ticker to stderr")
+		every      = fs.Duration("every", runstats.DefaultProgressPeriod, "progress ticker period")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" && !*all {
+		return fmt.Errorf("profile: specify -run IDs or -all")
+	}
+	if *parallel < 1 {
+		return fmt.Errorf("profile: -parallel must be >= 1 (got %d)", *parallel)
+	}
+	if err := core.SetFaultProfile(*faultsProf); err != nil {
+		return err
+	}
+	if err := core.SetActivityMix(*activity); err != nil {
+		return err
+	}
+	if err := validateOutPath("-o", *out); err != nil {
+		return err
+	}
+	ids := core.ExperimentIDs()
+	if *id != "" {
+		var err error
+		if ids, err = parseIDs(*id); err != nil {
+			return err
+		}
+	}
+
+	c := runstats.Enable()
+	defer runstats.Disable()
+	var stopTicker func()
+	if *progress {
+		stopTicker = c.StartProgress(os.Stderr, *every)
+	}
+	reports := core.RunExperiments(ids, *seed, *parallel)
+	if stopTicker != nil {
+		stopTicker()
+	}
+	for _, rep := range reports {
+		status := "pass"
+		switch {
+		case rep.Err != nil:
+			status = "error"
+		case !rep.Result.Pass:
+			status = "FAIL"
+		}
+		fmt.Fprintf(os.Stderr, "%-4s %8.3fs  %s\n", rep.ID, rep.Wall.Seconds(), status)
+	}
+
+	manifest := c.Manifest()
+	if *out == "" || *out == "-" {
+		if err := manifest.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		var buf bytes.Buffer
+		if err := manifest.WriteJSON(&buf); err != nil {
+			return fmt.Errorf("profile: render manifest: %w", err)
+		}
+		if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+			return fmt.Errorf("profile: write manifest: %w", err)
+		}
+	}
+	return reportErr(reports)
 }
 
 // runDetect implements `cyberlab detect`: replay a JSONL trace export
@@ -458,8 +574,13 @@ func writeMetrics(path string, snap obs.Snapshot) error {
 }
 
 // validateOutPath rejects output destinations that cannot possibly be
-// written: a missing or non-directory parent, or a path that is itself a
-// directory.
+// written: a missing or non-directory parent, a path that is itself a
+// directory, or a destination the process lacks permission to write
+// (a read-only directory would otherwise only fail minutes later, when
+// -memprofile or -o performs its deferred write). Every output flag —
+// -o, -trace, -metrics, -cpuprofile, -memprofile, profile -o — goes
+// through here, so a typo fails with the flag's name before any
+// experiment burns wall clock.
 func validateOutPath(flagName, path string) error {
 	if path == "" || path == "-" {
 		return nil
@@ -472,9 +593,27 @@ func validateOutPath(flagName, path string) error {
 	if !info.IsDir() {
 		return fmt.Errorf("%s %s: %s is not a directory", flagName, path, dir)
 	}
-	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
-		return fmt.Errorf("%s %s: path is a directory", flagName, path)
+	if fi, err := os.Stat(path); err == nil {
+		if fi.IsDir() {
+			return fmt.Errorf("%s %s: path is a directory", flagName, path)
+		}
+		// The file exists: prove we can open it for writing without
+		// truncating it.
+		f, err := os.OpenFile(path, os.O_WRONLY, 0)
+		if err != nil {
+			return fmt.Errorf("%s %s: not writable: %v", flagName, path, err)
+		}
+		f.Close()
+		return nil
 	}
+	// The file does not exist yet: prove the directory accepts new
+	// files with a sibling probe (created and removed immediately).
+	probe, err := os.CreateTemp(dir, ".cyberlab-write-probe-*")
+	if err != nil {
+		return fmt.Errorf("%s %s: directory %s is not writable: %v", flagName, path, dir, err)
+	}
+	probe.Close()
+	os.Remove(probe.Name())
 	return nil
 }
 

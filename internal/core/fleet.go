@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/host"
 	"repro/internal/netsim"
+	"repro/internal/runstats"
 )
 
 // HostSpec describes one host of a sharded fleet build: its name, its
@@ -40,6 +41,7 @@ func (w *World) AddHostsSharded(lan *netsim.LAN, workers int, specs []HostSpec) 
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	defer runstats.Phase("fleet-build")()
 	anchor := w.K.RNG().Fork()
 	// Pre-warm the one registry handle host.New fetches, so the parallel
 	// phase performs only map reads (obs.Registry writes are not
@@ -68,6 +70,9 @@ func (w *World) AddHostsSharded(lan *netsim.LAN, workers int, specs []HostSpec) 
 		w.hosts[h.Name] = lan
 		w.extra[h.Name] = make(map[string]any)
 		w.Registry.Attach(h)
+	}
+	if c := runstats.Active(); c != nil {
+		c.AddHosts(len(hosts))
 	}
 	return hosts, nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/runstats"
 )
 
 // The parallel experiment runner. Every experiment builds its own World —
@@ -60,7 +61,10 @@ func runPool(n, workers int, run func(i int)) {
 }
 
 // runOne executes a single experiment, converting panics into errors so
-// one broken experiment can never truncate a sweep report.
+// one broken experiment can never truncate a sweep report. When a
+// wall-clock collector is active it gets the experiment's wall time and
+// pass/fail — telemetry that stays on the nondeterministic plane (the
+// deterministic Result never carries wall data).
 func runOne(id string, seed uint64) (rep RunReport) {
 	rep = RunReport{ID: id, Seed: seed}
 	runner, ok := Experiments[id]
@@ -68,13 +72,19 @@ func runOne(id string, seed uint64) (rep RunReport) {
 		rep.Err = fmt.Errorf("experiment %s: unknown ID", id)
 		return rep
 	}
+	started := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
 			rep.Result = nil
 			rep.Err = fmt.Errorf("experiment %s: panic: %v", id, r)
+			rep.Wall = time.Since(started)
+		}
+		if c := runstats.Active(); c != nil {
+			c.RecordExperiment(id, seed, rep.Wall,
+				rep.Err == nil && rep.Result != nil && rep.Result.Pass)
 		}
 	}()
-	started := time.Now()
+	defer runstats.Phase("run")()
 	rep.Result, rep.Err = runner(seed)
 	rep.Wall = time.Since(started)
 	if rep.Err != nil {
@@ -90,6 +100,9 @@ func runOne(id string, seed uint64) (rep RunReport) {
 // count. Unknown IDs and experiment failures become per-report errors;
 // the remaining experiments still run.
 func RunExperiments(ids []string, seed uint64, workers int) []RunReport {
+	if c := runstats.Active(); c != nil {
+		c.SetTotalExperiments(len(ids))
+	}
 	reports := make([]RunReport, len(ids))
 	runPool(len(ids), workers, func(i int) {
 		reports[i] = runOne(ids[i], seed)
@@ -136,6 +149,9 @@ type SweepEntry struct {
 func SweepSeeds(ids []string, seeds []uint64, workers int) []SweepEntry {
 	if len(ids) == 0 || len(seeds) == 0 {
 		return nil
+	}
+	if c := runstats.Active(); c != nil {
+		c.SetTotalExperiments(len(ids) * len(seeds))
 	}
 	reports := make([]RunReport, len(ids)*len(seeds))
 	runPool(len(reports), workers, func(i int) {

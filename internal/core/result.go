@@ -66,6 +66,9 @@ func (r *Result) block(s string) {
 // uniqueness (kernels allocate 1,2,3,… independently).
 func (r *Result) CaptureObs(ks ...*sim.Kernel) {
 	for _, k := range ks {
+		// Flush the wall-clock telemetry tail (no-op without a probe);
+		// this reads kernel state but writes nothing deterministic.
+		k.FlushProbe()
 		r.Obs.Merge(k.Metrics().Snapshot())
 		events := k.Trace().Events()
 		if base := obs.Span(r.spanBase); base != 0 {

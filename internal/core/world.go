@@ -22,6 +22,7 @@ import (
 	"repro/internal/malware"
 	"repro/internal/netsim"
 	"repro/internal/pki"
+	"repro/internal/runstats"
 	"repro/internal/sim"
 )
 
@@ -76,13 +77,19 @@ type WorldConfig struct {
 	MuteTrace bool
 }
 
-// NewWorld builds the shared infrastructure.
+// NewWorld builds the shared infrastructure. Every experiment kernel is
+// born here, so this is also where the wall-clock telemetry plane
+// attaches its sampling probe (a no-op unless `cyberlab -progress` or
+// `cyberlab profile` enabled a collector; probes are read-only and
+// never perturb the deterministic plane — DESIGN.md §12).
 func NewWorld(cfg WorldConfig) (*World, error) {
+	defer runstats.Phase("world-build")()
 	opts := []sim.Option{sim.WithSeed(cfg.Seed), sim.WithTraceCapacity(1 << 14)}
 	if !cfg.Start.IsZero() {
 		opts = append(opts, sim.WithStart(cfg.Start))
 	}
 	k := sim.NewKernel(opts...)
+	runstats.AttachKernel(k)
 	if cfg.MuteTrace {
 		k.Trace().SetMuted(true)
 	}
@@ -226,6 +233,9 @@ func (w *World) AddHost(lan *netsim.LAN, name string, opts ...host.Option) *host
 	w.hosts[name] = lan
 	w.extra[name] = make(map[string]any)
 	w.Registry.Attach(h)
+	if c := runstats.Active(); c != nil {
+		c.AddHosts(1)
+	}
 	return h
 }
 

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/runstats"
 	"repro/internal/sim"
 )
 
@@ -414,8 +415,11 @@ func (en *Engine) FireCount(name string) int {
 // Replay runs an exported event stream through a rule pack offline. The
 // input must be in trace order (as WriteJSONL exports it); the result is
 // the same alert list a live engine produced, minus the live-only alert
-// span IDs.
+// span IDs. Replay is the offline "detect" wall-phase: when a runstats
+// collector is live it gets the region's wall time (live engines run
+// inline inside the kernel's "run" phase and are not separable).
 func Replay(events []obs.Event, rules []Rule) ([]Alert, error) {
+	defer runstats.Phase("detect")()
 	en, err := New(rules)
 	if err != nil {
 		return nil, err

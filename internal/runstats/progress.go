@@ -1,0 +1,114 @@
+package runstats
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// DefaultProgressPeriod is the -progress ticker cadence.
+const DefaultProgressPeriod = 2 * time.Second
+
+// SampleHeap refreshes the collector's Go heap watermarks from
+// runtime.MemStats. The progress ticker calls it each period;
+// long-running phases may call it at their edges. ReadMemStats briefly
+// stops the world, so it must never be called from a kernel probe.
+func (c *Collector) SampleHeap() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	for {
+		cur := c.heapMax.Load()
+		if ms.HeapAlloc <= cur || c.heapMax.CompareAndSwap(cur, ms.HeapAlloc) {
+			break
+		}
+	}
+	c.heapSys.Store(ms.HeapSys)
+	c.numGC.Store(ms.NumGC)
+}
+
+// StartProgress launches the live ticker: one status line per period to
+// w (stderr in the CLI) with experiments done, hosts attached, virtual
+// time reached, fired events and their wall rate, queue depth, and
+// heap. It returns a stop function that halts the goroutine and emits
+// one final line so short runs still get a summary. Output goes to the
+// wall-clock plane only; nothing the ticker prints is drift-gated.
+func (c *Collector) StartProgress(w io.Writer, period time.Duration) (stop func()) {
+	if period <= 0 {
+		period = DefaultProgressPeriod
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	var lastEvents uint64
+	var lastAt = time.Now()
+	line := func(final bool) {
+		c.SampleHeap()
+		now := time.Now()
+		events := c.events.Load()
+		rate := float64(events-lastEvents) / now.Sub(lastAt).Seconds()
+		lastEvents, lastAt = events, now
+		vt := "-"
+		if t := c.VTimeMax(); !t.IsZero() {
+			vt = t.Format("2006-01-02T15:04:05Z")
+		}
+		tag := "progress"
+		if final {
+			tag = "progress(final)"
+			rate = float64(events) / now.Sub(c.start).Seconds()
+		}
+		fmt.Fprintf(w, "%s: %d/%d exps | hosts %d | vtime %s | %s events (%s/s) | queue %d | heap %s\n",
+			tag, c.expsDone.Load(), c.expTotal.Load(), c.hosts.Load(), vt,
+			humanCount(float64(events)), humanCount(rate),
+			c.queueLast.Load(), humanBytes(c.heapMax.Load()))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				line(false)
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+			line(true)
+		})
+	}
+}
+
+// humanCount renders 1234567 as "1.2M".
+func humanCount(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// humanBytes renders a byte count with a binary unit.
+func humanBytes(v uint64) string {
+	const mb = 1 << 20
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(v)/(1<<30))
+	case v >= mb:
+		return fmt.Sprintf("%.0fMB", float64(v)/mb)
+	default:
+		return fmt.Sprintf("%.0fKB", float64(v)/(1<<10))
+	}
+}

@@ -1,0 +1,214 @@
+package runstats
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// drive runs a small timer workload on a probed kernel.
+func drive(t *testing.T, c *Collector, events int) *sim.Kernel {
+	t.Helper()
+	k := sim.NewKernel()
+	c.Attach(k)
+	for i := 0; i < events; i++ {
+		k.Schedule(time.Duration(i+1)*time.Second, "work", func() {})
+	}
+	k.Drain(uint64(events) + 1)
+	k.FlushProbe()
+	return k
+}
+
+func TestCollectorAccumulatesKernelSamples(t *testing.T) {
+	c := NewCollector()
+	drive(t, c, 2500) // crosses two DefaultProbeEvery boundaries + flush
+	if got := c.Events(); got != 2500 {
+		t.Fatalf("Events = %d, want 2500", got)
+	}
+	if c.kernels.Load() != 1 {
+		t.Fatalf("kernels = %d, want 1", c.kernels.Load())
+	}
+	if c.VTimeMax().IsZero() {
+		t.Fatal("VTimeMax never advanced")
+	}
+	hits, misses := c.poolHits.Load(), c.poolMisses.Load()
+	if hits+misses != 2500 {
+		t.Fatalf("pool hits+misses = %d, want 2500", hits+misses)
+	}
+}
+
+func TestCollectorMergesConcurrentKernels(t *testing.T) {
+	c := NewCollector()
+	const workers, per = 8, 1500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			k := sim.NewKernel()
+			c.Attach(k)
+			for i := 0; i < per; i++ {
+				k.Schedule(time.Duration(i+1)*time.Millisecond, "work", func() {})
+			}
+			k.Drain(per + 1)
+			k.FlushProbe()
+		}()
+	}
+	wg.Wait()
+	if got := c.Events(); got != workers*per {
+		t.Fatalf("Events = %d, want %d", got, workers*per)
+	}
+	if c.kernels.Load() != workers {
+		t.Fatalf("kernels = %d, want %d", c.kernels.Load(), workers)
+	}
+}
+
+func TestPhaseTimersAccumulate(t *testing.T) {
+	c := NewCollector()
+	stop := c.StartPhase("fleet-build")
+	time.Sleep(5 * time.Millisecond)
+	stop()
+	stop() // double-stop is a no-op
+	stop2 := c.StartPhase("fleet-build")
+	time.Sleep(5 * time.Millisecond)
+	stop2()
+	c.StartPhase("run")()
+	m := c.Manifest()
+	if len(m.Phases) != 2 || m.Phases[0].Name != "fleet-build" || m.Phases[1].Name != "run" {
+		t.Fatalf("phases = %+v, want fleet-build then run (first-seen order)", m.Phases)
+	}
+	if m.Phases[0].WallSecs < 0.008 {
+		t.Fatalf("fleet-build wall = %v, want >= ~10ms accumulated", m.Phases[0].WallSecs)
+	}
+}
+
+func TestGlobalEnableDisable(t *testing.T) {
+	if Active() != nil {
+		t.Fatal("collector active before Enable")
+	}
+	c := Enable()
+	defer Disable()
+	if Active() != c {
+		t.Fatal("Active != Enabled collector")
+	}
+	stop := Phase("x")
+	stop()
+	Disable()
+	if Active() != nil {
+		t.Fatal("collector still active after Disable")
+	}
+	Phase("y")() // no-op path must not panic
+}
+
+func TestManifestShape(t *testing.T) {
+	c := NewCollector()
+	c.AddHosts(42)
+	c.SetTotalExperiments(2)
+	drive(t, c, 1200)
+	c.RecordExperiment("C7", 1, 125*time.Millisecond, true)
+	c.RecordExperiment("F1", 1, 25*time.Millisecond, false)
+
+	var buf bytes.Buffer
+	if err := c.Manifest().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if m.Plane != "wall-clock" {
+		t.Fatalf("plane = %q, want wall-clock", m.Plane)
+	}
+	if !strings.Contains(m.Note, "excluded from all determinism drift gates") {
+		t.Fatalf("note does not mark the manifest nondeterministic: %q", m.Note)
+	}
+	if m.Kernel.Hosts != 42 || m.Kernel.EventsFired != 1200 {
+		t.Fatalf("kernel stats = %+v", m.Kernel)
+	}
+	if m.Kernel.NsPerEvent <= 0 || m.Kernel.EventsPerSec <= 0 {
+		t.Fatalf("rates missing: %+v", m.Kernel)
+	}
+	if m.Kernel.PoolHitRate < 0 || m.Kernel.PoolHitRate > 1 {
+		t.Fatalf("pool hit rate out of range: %v", m.Kernel.PoolHitRate)
+	}
+	if m.Heap.MaxAllocBytes == 0 {
+		t.Fatal("heap watermark never sampled")
+	}
+	if len(m.Experiments) != 2 {
+		t.Fatalf("experiments = %d entries, want 2", len(m.Experiments))
+	}
+	byID := map[string]ExperimentEntry{}
+	for _, e := range m.Experiments {
+		byID[e.ID] = e
+	}
+	if e := byID["C7"]; !e.Ok || e.WallSecs < 0.1 || e.PctWall <= 0 {
+		t.Fatalf("C7 entry = %+v", e)
+	}
+	if e := byID["F1"]; e.Ok {
+		t.Fatalf("F1 entry should be !Ok: %+v", e)
+	}
+}
+
+func TestProgressTicker(t *testing.T) {
+	c := NewCollector()
+	c.SetTotalExperiments(3)
+	c.AddHosts(7)
+	drive(t, c, 1100)
+	var buf syncBuffer
+	stop := c.StartProgress(&buf, 10*time.Millisecond)
+	time.Sleep(35 * time.Millisecond)
+	stop()
+	stop() // idempotent
+	out := buf.String()
+	if !strings.Contains(out, "hosts 7") || !strings.Contains(out, "events") {
+		t.Fatalf("progress output missing gauges:\n%s", out)
+	}
+	if !strings.Contains(out, "progress(final):") {
+		t.Fatalf("no final summary line:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines < 2 {
+		t.Fatalf("expected multiple ticks, got %d lines:\n%s", lines, out)
+	}
+}
+
+// syncBuffer guards a bytes.Buffer: the ticker goroutine writes while
+// the test reads.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestHumanUnits(t *testing.T) {
+	cases := map[float64]string{12: "12", 1500: "1.5k", 2_500_000: "2.5M", 3e9: "3.0G"}
+	for in, want := range cases {
+		if got := humanCount(in); got != want {
+			t.Errorf("humanCount(%g) = %q, want %q", in, got, want)
+		}
+	}
+	if got := humanBytes(512); got != "1KB" && got != "0KB" {
+		t.Errorf("humanBytes(512) = %q", got)
+	}
+	if got := humanBytes(3 << 20); got != "3MB" {
+		t.Errorf("humanBytes(3MB) = %q", got)
+	}
+	if got := humanBytes(2 << 30); got != "2.00GB" {
+		t.Errorf("humanBytes(2GB) = %q", got)
+	}
+}

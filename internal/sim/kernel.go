@@ -32,6 +32,30 @@ var Epoch = time.Date(2010, time.June, 1, 0, 0, 0, 0, time.UTC)
 // explicitly via Stop before the run condition was reached.
 var ErrStopped = errors.New("sim: kernel stopped")
 
+// Sample is one wall-clock-plane observation of a running kernel,
+// delivered to a Probe from inside the hot loop. Everything in it is
+// deterministic kernel state; what makes the probe plane "wall-clock" is
+// that the *timing* of deliveries (every probeEvery steps of a run whose
+// wall speed varies) is only meaningful against the real clock, and that
+// nothing a Probe computes may ever flow back into obs registries or
+// drift-gated artefacts (DESIGN.md §12).
+type Sample struct {
+	VNow       time.Time // kernel virtual clock at the sampled step
+	Steps      uint64    // events executed so far
+	Pending    int       // event-queue depth
+	PoolFree   int       // recycled Event structs currently idle
+	PoolHits   uint64    // schedules served from the free list
+	PoolMisses uint64    // schedules that had to allocate
+}
+
+// Probe receives periodic kernel-loop samples on the wall-clock
+// telemetry plane (internal/runstats). Implementations must only read
+// the sample: they run on the kernel's goroutine, in the middle of the
+// hot loop, and must not schedule events, touch the trace, or block.
+type Probe interface {
+	KernelSample(s Sample)
+}
+
 // Cause is the causal context an action runs under: the span that caused
 // it and the infection vector that transition would use. The kernel keeps
 // an ambient Cause that ScheduleAt captures into scheduled events and
@@ -153,6 +177,16 @@ type Kernel struct {
 	// cancel). Off by default: a 30,000-host fleet steps millions of
 	// times and would evict every interesting record from the ring.
 	kernelEvents bool
+
+	// Wall-clock-plane sampling (DESIGN.md §12). probe is nil unless a
+	// telemetry collector attached one, so the disabled hot-loop cost is
+	// a single pointer check. poolHits/poolMisses are deterministic
+	// bookkeeping of the free list, kept out of the obs registry so the
+	// metrics snapshot bytes are independent of telemetry.
+	probe      Probe
+	probeEvery uint64
+	poolHits   uint64
+	poolMisses uint64
 }
 
 // Option configures a Kernel at construction time.
@@ -270,6 +304,54 @@ func (k *Kernel) OpenSpan(cat Category, actor, msg, vector string, tags ...obs.T
 // Pending reports how many events are waiting in the queue.
 func (k *Kernel) Pending() int { return len(k.queue) }
 
+// PoolStats reports how many schedules were served from the event free
+// list versus allocated fresh. The counts are deterministic (they follow
+// the schedule/fire sequence exactly) but live outside the obs registry:
+// they describe the runtime's memory behaviour, not the simulated world.
+func (k *Kernel) PoolStats() (hits, misses uint64) {
+	return k.poolHits, k.poolMisses
+}
+
+// DefaultProbeEvery is the sampling cadence SetProbe installs when the
+// caller passes every <= 0: one sample per 1024 executed events keeps
+// the hot-loop cost of an attached probe under 0.1%.
+const DefaultProbeEvery = 1024
+
+// SetProbe installs a wall-clock telemetry probe, sampled every `every`
+// executed events (<= 0 selects DefaultProbeEvery). A nil probe detaches.
+// The probe plane is read-only: installing one never changes scheduling,
+// tracing, metrics, or RNG draws, so outputs stay byte-identical
+// (asserted by TestProbeDoesNotPerturbDeterminism).
+func (k *Kernel) SetProbe(p Probe, every uint64) {
+	if every == 0 {
+		every = DefaultProbeEvery
+	}
+	k.probe = p
+	k.probeEvery = every
+}
+
+// FlushProbe delivers one final sample to the attached probe (no-op
+// without one). Callers flush after a run so the tail of a workload —
+// up to probeEvery-1 steps — is not lost from wall-clock totals.
+func (k *Kernel) FlushProbe() {
+	if k.probe == nil {
+		return
+	}
+	k.probe.KernelSample(k.sample())
+}
+
+// sample snapshots the probe-visible kernel state.
+func (k *Kernel) sample() Sample {
+	return Sample{
+		VNow:       k.now,
+		Steps:      k.steps,
+		Pending:    len(k.queue),
+		PoolFree:   len(k.free),
+		PoolHits:   k.poolHits,
+		PoolMisses: k.poolMisses,
+	}
+}
+
 // Schedule enqueues fn to run after delay d. Negative delays are treated as
 // zero. The returned Timer may be passed to Cancel.
 func (k *Kernel) Schedule(d time.Duration, name string, fn func()) Timer {
@@ -295,8 +377,10 @@ func (k *Kernel) ScheduleAt(t time.Time, name string, fn func()) Timer {
 		k.free[n-1] = nil
 		k.free = k.free[:n-1]
 		*ev = Event{at: t, seq: k.seq, name: name, fn: fn, cause: k.cause}
+		k.poolHits++
 	} else {
 		ev = &Event{at: t, seq: k.seq, name: name, fn: fn, cause: k.cause}
+		k.poolMisses++
 	}
 	heap.Push(&k.queue, ev)
 	k.mSchedule.Inc()
@@ -388,6 +472,9 @@ func (k *Kernel) Step() bool {
 	k.steps++
 	k.mExecute.Inc()
 	k.handlerCounter(ev.name).Inc()
+	if k.probe != nil && k.steps%k.probeEvery == 0 {
+		k.probe.KernelSample(k.sample())
+	}
 	if k.kernelEvents {
 		k.trace.Emit(k.now, CatKernel, "kernel", "execute "+ev.name, obs.Ti("seq", int64(ev.seq)))
 	}
