@@ -22,34 +22,43 @@ if ! vet_out=$(go vet ./... 2>&1); then
     exit 1
 fi
 go build ./...
-go test ./...
+go test -timeout 900s ./...
 
 # Race lane: prove the parallel runner is race-clean. Each experiment owns
 # an independent world, so these only fail if shared mutable state sneaks
 # into a substrate package. The Fault|Resilience sweep runs the adversity
 # engine and the R-series under -race across every touched package.
-go test -race -run 'Parallel|Sweep|RaceLane' ./internal/core
-go test -race ./internal/sim ./internal/netsim ./internal/cnc ./internal/faults
+go test -race -timeout 300s -run 'Parallel|Sweep|RaceLane' ./internal/core
+go test -race -timeout 300s ./internal/sim ./internal/netsim ./internal/cnc ./internal/faults
 
 # Detect lane: the streaming engine subscribes to the live trace from
 # inside experiment worlds, so it and the CNI campaign run under -race
 # alongside the substrate they hook. The user-activity layer feeds both
 # (noise floor for D4/D5), so it rides in the same lane.
-go test -race ./internal/detect ./internal/malware/cni ./internal/users
-go test -race -run 'Fault|Resilience' ./internal/core ./internal/netsim ./internal/cnc ./internal/faults
+go test -race -timeout 300s ./internal/detect ./internal/malware/cni ./internal/users
+go test -race -timeout 300s -run 'Fault|Resilience' ./internal/core ./internal/netsim ./internal/cnc ./internal/faults
 
 # Runstats race lane (DESIGN.md §12): the wall-clock telemetry collector
 # is fed concurrently by every kernel probe plus the progress ticker
 # goroutine, so the collector package and the determinism-isolation
 # property test (telemetry on, workers 1/4/8, byte-identical artefacts)
 # both run under -race.
-go test -race ./internal/runstats
-go test -race -run 'Runstats' ./internal/core
+go test -race -timeout 300s ./internal/runstats
+go test -race -timeout 300s -run 'Runstats' ./internal/core
+
+# Supervision race lane (DESIGN.md §13): the watchdog sweeper, shutdown
+# signal path, and journal writer all cross goroutines by construction
+# (the supervisor goroutine cancelling a worker's kernels, the signal
+# handler racing in-flight experiments), so every cancellation, stall,
+# deadline, retry, journal and checkpoint test runs under -race, in the
+# substrate and at the CLI.
+go test -race -timeout 300s -run 'Cancel|Stall|Watchdog|Deadline|Shutdown|Retry|Journal|Checkpoint|Fork|Supervision' \
+    ./internal/sim ./internal/core ./cmd/cyberlab
 
 # Bench lane: compile and run every obs/provenance benchmark once, so a
 # benchmark that rots (or an accidental per-event allocation regression
 # caught by its companion test) fails CI rather than bitrotting.
-go test -bench=. -benchtime=1x -run '^$' ./internal/obs ./internal/provenance ./internal/faults
+go test -timeout 300s -bench=. -benchtime=1x -run '^$' ./internal/obs ./internal/provenance ./internal/faults
 
 # Fleet-perf lane (DESIGN.md §9): run the seed / event / C7 benchmarks
 # with -benchmem, fold them into BENCH_C7.json's "after" snapshot via
@@ -64,13 +73,13 @@ bench_metric='ClaimC7Reduced=ns/host-event,ClaimC7AramcoScale=ns/host-event'
 go run ./cmd/benchjson -check BENCH_C7.json -require "$bench_req" \
     -min-bytes-ratio ClaimC7Reduced=2 -require-metric "$bench_metric"
 tmp_bench=$(mktemp)
-go test -run '^$' -bench 'SeedDocuments|CheckWipeLazy' -benchmem ./internal/host | tee -a "$tmp_bench"
-go test -run '^$' -bench 'ScheduleFire|ScheduleCancel' -benchtime=0.2s -benchmem ./internal/sim | tee -a "$tmp_bench"
+go test -timeout 300s -run '^$' -bench 'SeedDocuments|CheckWipeLazy' -benchmem ./internal/host | tee -a "$tmp_bench"
+go test -timeout 300s -run '^$' -bench 'ScheduleFire|ScheduleCancel' -benchtime=0.2s -benchmem ./internal/sim | tee -a "$tmp_bench"
 # UsersC7BusyReduced is the populated twin of ClaimC7Reduced: its B/op
 # next to the silent number is the machine-checkable form of ISSUE 7's
 # "busy fleet within 1.3x of the silent baseline" bound (the full-scale
 # assertion lives in TestBusyFleetMemoryBound).
-go test -run '^$' -bench 'ClaimC7Reduced|ClaimC7AramcoScale|UsersC7BusyReduced' -benchtime=1x -benchmem . | tee -a "$tmp_bench"
+go test -timeout 300s -run '^$' -bench 'ClaimC7Reduced|ClaimC7AramcoScale|UsersC7BusyReduced' -benchtime=1x -benchmem . | tee -a "$tmp_bench"
 go run ./cmd/benchjson -o BENCH_C7.json -label after \
     -require "$bench_req" -min-bytes-ratio ClaimC7Reduced=2 -require-metric "$bench_metric" < "$tmp_bench"
 rm -f "$tmp_bench"
@@ -83,7 +92,8 @@ rm -f "$tmp_bench"
 tmp_manifest=$(mktemp)
 go run ./cmd/cyberlab profile -run C7 -progress -o "$tmp_manifest"
 for key in '"plane": "wall-clock"' '"events_fired"' '"ns_per_event"' \
-    '"max_queue_depth"' '"phases"' '"id": "C7"' '"wall_seconds"'; do
+    '"max_queue_depth"' '"phases"' '"id": "C7"' '"wall_seconds"' \
+    '"supervision"'; do
     if ! grep -qF "$key" "$tmp_manifest"; then
         echo "profile manifest is missing $key:" >&2
         cat "$tmp_manifest" >&2
@@ -95,7 +105,8 @@ rm -f "$tmp_manifest"
 tmp_report=$(mktemp)
 tmp_trace=$(mktemp)
 tmp_dot=$(mktemp)
-trap 'rm -f "$tmp_report" "$tmp_trace" "$tmp_dot"' EXIT
+tmp_journal=$(mktemp)
+trap 'rm -f "$tmp_report" "$tmp_trace" "$tmp_dot" "$tmp_journal"' EXIT
 
 # Docs drift gate: EXPERIMENTS.md is a build artefact of `cyberlab -report`.
 # Regenerate from a live run and fail if the committed copy differs. The
@@ -154,6 +165,22 @@ if ! diff -u examples/users/d5-noise.jsonl "$tmp_dot"; then
     echo "D5 noise stream drifted; regenerate with:" >&2
     echo "  go run ./cmd/cyberlab -run D5 -trace d5.jsonl" >&2
     echo "  grep '\"cat\":\"user\"' d5.jsonl | head -40 > examples/users/d5-noise.jsonl" >&2
+    exit 1
+fi
+
+# Crash-inject + resume drift gate (DESIGN.md §13): journal one
+# experiment of a three-experiment run, then simulate a SIGKILL between
+# write and fsync by appending a torn half-record with no newline. The
+# -resume run must truncate the torn tail, serve the journaled
+# experiment, run the rest, and emit a report byte-identical to an
+# uninterrupted run — at a different worker width than the baseline.
+go run ./cmd/cyberlab -run F3,C1,C8 -o "$tmp_report" >/dev/null
+rm -f "$tmp_journal"
+go run ./cmd/cyberlab -run F3 -journal "$tmp_journal" >/dev/null
+printf '{"kind":"experiment","id":"C1","seed":1,"hash":"dead' >>"$tmp_journal"
+go run ./cmd/cyberlab -run F3,C1,C8 -journal "$tmp_journal" -resume -parallel 4 -o "$tmp_trace" >/dev/null
+if ! diff -u "$tmp_report" "$tmp_trace"; then
+    echo "resumed run drifted from the uninterrupted run (crash-inject gate)" >&2
     exit 1
 fi
 

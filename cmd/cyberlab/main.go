@@ -17,6 +17,10 @@
 //	cyberlab -report [-o EXPERIMENTS.md]
 //	cyberlab -rules
 //	cyberlab -run C7 -progress
+//	cyberlab -all -journal run.journal [-stall 30s] [-deadline 10m] [-max-retries 1]
+//	cyberlab -all -journal run.journal -resume
+//	cyberlab checkpoint -run C1 -at 30m [-seed 7] [-o c1.checkpoint]
+//	cyberlab fork -from c1.checkpoint [-trace tail.jsonl]
 //	cyberlab profile -run C7 [-progress] [-o manifest.json]
 //	cyberlab trace -in t.jsonl [-cat X] [-actor Y] [-tag k=v] [-chain F1/s3] [-dot out.dot]
 //	cyberlab detect -in t.jsonl [-o alerts.jsonl]
@@ -70,6 +74,27 @@
 // built-in detection rule pack (internal/detect) offline and emits the
 // alert stream as JSONL — byte-identical to what a live engine attached
 // to the same run would have produced. -rules lists the pack.
+//
+// Supervision (DESIGN.md §13): -stall arms a vtime-stall watchdog that
+// aborts any experiment whose virtual clock freezes while events keep
+// executing; -deadline bounds each experiment's wall clock. Aborted
+// experiments are reported partial with a diagnostic (queue depth, last
+// handler, open spans) and never contaminate sibling outputs.
+// -max-retries re-runs deterministic failures; a retry that produces
+// different bytes is flagged as a determinism violation, never silently
+// accepted. -journal appends each completed experiment to a crash-safe
+// JSONL file (content-hashed, fsync'd per record); -resume verifies the
+// journal — tolerating a torn final line from a mid-write kill — and
+// serves journaled experiments without re-running them, byte-identical
+// at any -parallel width. SIGINT/SIGTERM trigger a graceful shutdown:
+// in-flight experiments stop at their next step boundary, outputs and
+// the journal flush, and the run exits with a RUN PARTIAL banner.
+//
+// The checkpoint subcommand freezes a replay checkpoint — the
+// (experiment, seed, faults, activity) tuple, a virtual-time boundary,
+// and a hash of the trace prefix — and fork restores one by
+// deterministic re-execution, refusing on prefix-hash drift and muting
+// the verified prefix out of the restored artefacts.
 package main
 
 import (
@@ -78,11 +103,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -90,16 +117,30 @@ import (
 	"repro/internal/obs"
 	"repro/internal/provenance"
 	"repro/internal/runstats"
+	"repro/internal/sim"
 )
 
 func main() {
+	// Graceful shutdown (DESIGN.md §13): the first SIGINT/SIGTERM asks
+	// every in-flight experiment to stop at its next step boundary and
+	// lets the run flush its journal, report and telemetry before
+	// exiting with the partial-run banner; a second signal exits hard.
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "\ncyberlab: %v: finishing current step and flushing outputs (send again to exit immediately)\n", s)
+		core.RequestShutdown(fmt.Errorf("signal %v", s))
+		<-sig
+		os.Exit(130)
+	}()
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "cyberlab:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	if len(args) > 0 && args[0] == "trace" {
 		return runTrace(args[1:])
 	}
@@ -108,6 +149,12 @@ func run(args []string) error {
 	}
 	if len(args) > 0 && args[0] == "profile" {
 		return runProfile(args[1:])
+	}
+	if len(args) > 0 && args[0] == "checkpoint" {
+		return runCheckpoint(args[1:])
+	}
+	if len(args) > 0 && args[0] == "fork" {
+		return runFork(args[1:])
 	}
 	fs := flag.NewFlagSet("cyberlab", flag.ContinueOnError)
 	var (
@@ -127,6 +174,11 @@ func run(args []string) error {
 		cpuProf    = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProf    = fs.String("memprofile", "", "write a heap profile to this file when the run finishes")
 		progress   = fs.Bool("progress", false, "print a live wall-clock telemetry ticker to stderr")
+		journalP   = fs.String("journal", "", "record completed experiments to this crash-safe JSONL file (fsync per record)")
+		resume     = fs.Bool("resume", false, "resume from -journal: serve journaled experiments without re-running them")
+		stall      = fs.Duration("stall", 0, "abort an experiment whose vtime freezes for this wall-clock window (0 = off)")
+		deadline   = fs.Duration("deadline", 0, "abort any experiment exceeding this wall-clock budget (0 = off)")
+		maxRetries = fs.Int("max-retries", 0, "re-run a failed experiment up to N times; a retry must reproduce identical bytes or the run is flagged nondeterministic")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -140,6 +192,22 @@ func run(args []string) error {
 	if *parallel < 1 {
 		return fmt.Errorf("-parallel must be >= 1 (got %d)", *parallel)
 	}
+	if *maxRetries < 0 {
+		return fmt.Errorf("-max-retries must be >= 0 (got %d)", *maxRetries)
+	}
+	if *resume && *journalP == "" {
+		return fmt.Errorf("-resume needs -journal FILE")
+	}
+	if *journalP != "" && *seeds != "" {
+		return fmt.Errorf("-journal records single-seed runs; it cannot capture a -seeds sweep")
+	}
+	if *stall < 0 || *deadline < 0 {
+		return fmt.Errorf("-stall and -deadline must be >= 0")
+	}
+	if *stall > 0 || *deadline > 0 {
+		core.EnableSupervision(core.SuperviseConfig{Stall: *stall, Deadline: *deadline})
+		defer core.DisableSupervision()
+	}
 	// Fail on unwritable output destinations before experiments burn wall
 	// clock, not minutes later at write time.
 	for _, o := range []struct{ flag, path string }{
@@ -150,6 +218,30 @@ func run(args []string) error {
 			return err
 		}
 	}
+	var journal *core.Journal
+	if *journalP != "" {
+		if !*genReport && *id == "" && !*all {
+			return fmt.Errorf("-journal needs a run (-run, -all, or -report)")
+		}
+		j, jerr := core.OpenJournal(*journalP, *resume, core.JournalConfig{
+			Seed:     *seed,
+			Faults:   core.FaultProfile().Name,
+			Activity: core.ActivityMixName(),
+		})
+		if jerr != nil {
+			return fmt.Errorf("-journal: %w", jerr)
+		}
+		journal = j
+		// A journal write error (disk full, yanked volume) must fail the
+		// run even if every experiment passed: a silently incomplete
+		// journal would skip re-runs on the next -resume.
+		defer func() {
+			if cerr := journal.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("-journal: %w", cerr)
+			}
+		}()
+	}
+	opts := core.RunOptions{Workers: *parallel, MaxRetries: *maxRetries, Journal: journal}
 	if *progress {
 		c := runstats.Enable()
 		stopTicker := c.StartProgress(os.Stderr, runstats.DefaultProgressPeriod)
@@ -254,7 +346,7 @@ func run(args []string) error {
 		return nil
 	case *genReport:
 		started := time.Now()
-		reports := core.RunAllParallel(*seed, *parallel)
+		reports := core.RunExperimentsOpts(core.ExperimentIDs(), *seed, opts)
 		stopReport := runstats.Phase("report")
 		md := core.RenderExperimentsMarkdown(reports, *seed)
 		stopReport()
@@ -267,6 +359,7 @@ func run(args []string) error {
 		if err := writeObsOutputs(*traceOut, *metricsOut, reports); err != nil {
 			return err
 		}
+		partialBanner(reports, *journalP)
 		return reportErr(reports)
 	case *id != "" || *all:
 		ids := core.ExperimentIDs()
@@ -277,7 +370,7 @@ func run(args []string) error {
 			}
 		}
 		started := time.Now()
-		reports := core.RunExperiments(ids, *seed, *parallel)
+		reports := core.RunExperimentsOpts(ids, *seed, opts)
 		for _, rep := range reports {
 			if rep.Err != nil {
 				emit("%v\n\n", rep.Err)
@@ -296,6 +389,7 @@ func run(args []string) error {
 		if err := writeObsOutputs(*traceOut, *metricsOut, reports); err != nil {
 			return err
 		}
+		partialBanner(reports, *journalP)
 		return reportErr(reports)
 	default:
 		fs.Usage()
@@ -448,6 +542,107 @@ func runDetect(args []string) error {
 	return nil
 }
 
+// runCheckpoint implements `cyberlab checkpoint`: run one experiment to
+// completion and freeze a replay checkpoint — the configuration tuple, a
+// virtual-time boundary, and a content hash of the trace prefix up to it
+// (DESIGN.md §13). The checkpoint JSON goes to stdout or -o.
+func runCheckpoint(args []string) error {
+	fs := flag.NewFlagSet("cyberlab checkpoint", flag.ContinueOnError)
+	var (
+		id         = fs.String("run", "", "experiment ID to checkpoint (required)")
+		seed       = fs.Uint64("seed", 1, "deterministic simulation seed")
+		at         = fs.Duration("at", 0, "checkpoint boundary as virtual time past the simulation epoch (required, e.g. 30m)")
+		faultsProf = fs.String("faults", "", "adversity profile for the R-series experiments")
+		activity   = fs.String("activity", "", "benign user-activity mix for scenario fleets")
+		out        = fs.String("o", "", "write the checkpoint JSON to this file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("checkpoint: -run ID is required")
+	}
+	if core.Experiments[*id] == nil {
+		return fmt.Errorf("checkpoint: unknown experiment %q (try -list)", *id)
+	}
+	if *at <= 0 {
+		return fmt.Errorf("checkpoint: -at DURATION (virtual time past the epoch) is required")
+	}
+	if err := core.SetFaultProfile(*faultsProf); err != nil {
+		return err
+	}
+	if err := core.SetActivityMix(*activity); err != nil {
+		return err
+	}
+	if err := validateOutPath("-o", *out); err != nil {
+		return err
+	}
+	cp, err := core.CaptureCheckpoint(*id, *seed, sim.Epoch.Add(*at))
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if *out == "" || *out == "-" {
+		if err := core.WriteCheckpoint(os.Stdout, cp); err != nil {
+			return err
+		}
+	} else {
+		var buf bytes.Buffer
+		if err := core.WriteCheckpoint(&buf, cp); err != nil {
+			return fmt.Errorf("checkpoint: render: %w", err)
+		}
+		if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
+			return fmt.Errorf("checkpoint: write: %w", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "checkpoint %s seed %d at %s: %d of %d events in the verified prefix\n",
+		cp.Experiment, cp.Seed, cp.VTime.Format(time.RFC3339), cp.PrefixLen, cp.TotalLen)
+	return nil
+}
+
+// runFork implements `cyberlab fork`: restore a checkpoint by
+// deterministic re-execution under the captured configuration, verify
+// the replayed prefix hash, and render only the tail past the boundary.
+func runFork(args []string) error {
+	fs := flag.NewFlagSet("cyberlab fork", flag.ContinueOnError)
+	var (
+		from     = fs.String("from", "", "checkpoint file to restore (required)")
+		traceOut = fs.String("trace", "", "write the tail trace events (past the checkpoint) to this file as JSONL")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *from == "" {
+		return fmt.Errorf("fork: -from FILE is required")
+	}
+	if err := validateOutPath("-trace", *traceOut); err != nil {
+		return err
+	}
+	cp, err := core.ReadCheckpoint(*from)
+	if err != nil {
+		return fmt.Errorf("fork: %w", err)
+	}
+	if err := cp.ApplyConfig(); err != nil {
+		return fmt.Errorf("fork: %w", err)
+	}
+	fr, err := core.Fork(cp)
+	if err != nil {
+		return fmt.Errorf("fork: %w", err)
+	}
+	fmt.Printf("%s\n", fr.Result.Render())
+	if *traceOut != "" {
+		var buf bytes.Buffer
+		if err := obs.WriteJSONL(&buf, fr.Result.Events); err != nil {
+			return fmt.Errorf("fork: render trace: %w", err)
+		}
+		if err := os.WriteFile(*traceOut, buf.Bytes(), 0o644); err != nil {
+			return fmt.Errorf("fork: write trace: %w", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "fork %s seed %d: prefix of %d events verified at %s, %d tail events restored\n",
+		cp.Experiment, cp.Seed, cp.PrefixLen, cp.VTime.Format(time.RFC3339), fr.TailEvents)
+	return nil
+}
+
 // parseIDs splits a comma-separated -run value and validates every ID.
 // Same-prefix ranges expand: "R1..R5" means R1,R2,R3,R4,R5.
 func parseIDs(s string) ([]string, error) {
@@ -520,11 +715,70 @@ func tally(reports []core.RunReport) (failed, errored int) {
 	return failed, errored
 }
 
+// reportErr turns a report slice into the process exit status: nil only
+// when every experiment ran to completion and passed. The error is a
+// one-line summary naming the experiments that did not complete and why,
+// so a CI log's last line is enough to know what to rerun.
 func reportErr(reports []core.RunReport) error {
-	if failed, errored := tally(reports); failed+errored > 0 {
-		return fmt.Errorf("%d experiments failed", failed+errored)
+	var bad []string
+	for _, rep := range reports {
+		switch {
+		case rep.Skipped:
+			bad = append(bad, rep.ID+" (skipped)")
+		case rep.Violation:
+			bad = append(bad, rep.ID+" (nondeterministic)")
+		case rep.Partial:
+			bad = append(bad, rep.ID+" (aborted)")
+		case rep.Err != nil:
+			bad = append(bad, rep.ID+" (error)")
+		case !rep.Result.Pass:
+			bad = append(bad, rep.ID+" (fail)")
+		}
 	}
-	return nil
+	if len(bad) == 0 {
+		return nil
+	}
+	const maxListed = 8
+	listed := bad
+	if len(bad) > maxListed {
+		listed = append(bad[:maxListed:maxListed], fmt.Sprintf("+%d more", len(bad)-maxListed))
+	}
+	return fmt.Errorf("%d of %d experiments did not complete: %s",
+		len(bad), len(reports), strings.Join(listed, ", "))
+}
+
+// partialBanner prints the RUN PARTIAL summary to stderr when a run was
+// cut short (shutdown signal, watchdog or deadline aborts). It never
+// touches stdout: the report artefact stays deterministic, partial runs
+// included.
+func partialBanner(reports []core.RunReport, journalPath string) {
+	done, served, aborted, skipped := 0, 0, 0, 0
+	for _, rep := range reports {
+		switch {
+		case rep.Skipped:
+			skipped++
+		case rep.Partial:
+			aborted++
+		default:
+			done++
+			if rep.FromJournal {
+				served++
+			}
+		}
+	}
+	if aborted == 0 && skipped == 0 && core.ShutdownCause() == nil {
+		return
+	}
+	cause := "experiment aborts"
+	if c := core.ShutdownCause(); c != nil {
+		cause = c.Error()
+	}
+	fmt.Fprintf(os.Stderr, "RUN PARTIAL (%s): %d done (%d from journal), %d aborted, %d skipped\n",
+		cause, done, served, aborted, skipped)
+	if journalPath != "" {
+		fmt.Fprintf(os.Stderr, "rerun with -journal %s -resume to serve the %d completed experiments and run the rest\n",
+			journalPath, done)
+	}
 }
 
 // writeObsOutputs writes the optional -trace and -metrics artefacts from

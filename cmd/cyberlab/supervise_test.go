@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunJournalResume drives the full CLI path: a journaled run, then a
+// -resume run that serves the journaled experiment instead of
+// re-executing it.
+func TestRunJournalResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	if err := run([]string{"-run", "F3", "-journal", path}); err != nil {
+		t.Fatalf("journaled run: %v", err)
+	}
+	if err := run([]string{"-run", "F3,C8", "-journal", path, "-resume"}); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	// Without -resume, reusing the journal must be refused.
+	if err := run([]string{"-run", "F3", "-journal", path}); err == nil ||
+		!strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("journal reuse without -resume = %v, want a refusal", err)
+	}
+}
+
+func TestRunJournalFlagValidation(t *testing.T) {
+	if err := run([]string{"-run", "F3", "-resume"}); err == nil ||
+		!strings.Contains(err.Error(), "-journal") {
+		t.Fatal("-resume without -journal accepted")
+	}
+	if err := run([]string{"-run", "F3", "-seeds", "1..2", "-journal", "x.journal"}); err == nil {
+		t.Fatal("-journal with -seeds accepted")
+	}
+	if err := run([]string{"-list", "-journal", "x.journal"}); err == nil {
+		t.Fatal("-journal without a run accepted")
+	}
+	if err := run([]string{"-run", "F3", "-max-retries", "-1"}); err == nil {
+		t.Fatal("negative -max-retries accepted")
+	}
+	if err := run([]string{"-run", "F3", "-stall", "-1s"}); err == nil {
+		t.Fatal("negative -stall accepted")
+	}
+}
+
+// TestRunFailureSummaryNamesIDs pins the exit contract: a run with a
+// failing experiment exits non-zero with a one-line summary naming the
+// failing IDs and why they failed.
+func TestRunFailureSummaryNamesIDs(t *testing.T) {
+	// X1 is the hidden spin self-test; unsupervised it refuses to start,
+	// a deterministic error the summary must surface by ID.
+	err := run([]string{"-run", "X1,F3"})
+	if err == nil {
+		t.Fatal("run with a failing experiment exited zero")
+	}
+	if !strings.Contains(err.Error(), "X1 (error)") || !strings.Contains(err.Error(), "did not complete") {
+		t.Fatalf("failure summary does not name the failing ID: %v", err)
+	}
+	if strings.Contains(err.Error(), "F3") {
+		t.Fatalf("failure summary names a passing experiment: %v", err)
+	}
+
+	// Under an armed watchdog X1 spins until reaped; the summary must
+	// report it as aborted, and the healthy sibling still passes.
+	err = run([]string{"-run", "X1,F3", "-stall", "100ms"})
+	if err == nil || !strings.Contains(err.Error(), "X1 (aborted)") {
+		t.Fatalf("supervised failure summary = %v, want X1 (aborted)", err)
+	}
+}
+
+// TestCheckpointForkCLI round-trips a checkpoint through the two
+// subcommands: capture to a file, then fork from it.
+func TestCheckpointForkCLI(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c1.checkpoint")
+	if err := run([]string{"checkpoint", "-run", "C1", "-at", "12h", "-o", path}); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("checkpoint file missing or empty: %v", err)
+	}
+	tail := filepath.Join(dir, "tail.jsonl")
+	if err := run([]string{"fork", "-from", path, "-trace", tail}); err != nil {
+		t.Fatalf("fork: %v", err)
+	}
+	if _, err := os.Stat(tail); err != nil {
+		t.Fatalf("fork tail trace missing: %v", err)
+	}
+}
+
+func TestCheckpointFlagValidation(t *testing.T) {
+	if err := run([]string{"checkpoint", "-run", "C1"}); err == nil {
+		t.Fatal("checkpoint without -at accepted")
+	}
+	if err := run([]string{"checkpoint", "-at", "1h"}); err == nil {
+		t.Fatal("checkpoint without -run accepted")
+	}
+	if err := run([]string{"checkpoint", "-run", "ZZ", "-at", "1h"}); err == nil {
+		t.Fatal("checkpoint of unknown experiment accepted")
+	}
+	if err := run([]string{"fork"}); err == nil {
+		t.Fatal("fork without -from accepted")
+	}
+	if err := run([]string{"fork", "-from", filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Fatal("fork from a missing file accepted")
+	}
+}

@@ -23,6 +23,12 @@ func SetActivityMix(name string) error {
 	return nil
 }
 
+// ActivityMixName returns the global default mix's name ("" when no mix
+// is installed). Journals and checkpoints record it: the mix is part of
+// the determinism contract, so a resume or fork under a different mix
+// must be refused rather than silently produce different bytes.
+func ActivityMixName() string { return string(activityMix) }
+
 // fleetMix resolves a scenario's Activity option against the global
 // default: an explicit option wins (users.MixNone forces silence even
 // under a global default); the zero value defers to SetActivityMix.

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// checkpointBoundary picks a vtime strictly inside an experiment's
+// event stream, so the checkpoint has both a prefix and a tail.
+func checkpointBoundary(t *testing.T, id string) time.Time {
+	t.Helper()
+	rep := runOne(id, 1)
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	events := rep.Result.Events
+	if len(events) < 4 {
+		t.Fatalf("%s retains only %d events; too few to split", id, len(events))
+	}
+	return events[len(events)/2].At
+}
+
+// TestCheckpointForkRoundTrip: capture a checkpoint mid-run, fork from
+// it, and get back exactly the tail past the boundary — the verified
+// prefix is muted out of the restored result.
+func TestCheckpointForkRoundTrip(t *testing.T) {
+	at := checkpointBoundary(t, "C1")
+	cp, err := CaptureCheckpoint("C1", 1, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.PrefixLen == 0 || cp.PrefixLen >= cp.TotalLen {
+		t.Fatalf("degenerate checkpoint: prefix %d of %d events", cp.PrefixLen, cp.TotalLen)
+	}
+	fr, err := Fork(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.TailEvents != cp.TotalLen-cp.PrefixLen {
+		t.Fatalf("fork tail = %d events, want %d", fr.TailEvents, cp.TotalLen-cp.PrefixLen)
+	}
+	for _, e := range fr.Result.Events {
+		if !e.At.After(cp.VTime) {
+			t.Fatalf("fork leaked a prefix event at %v (checkpoint %v)", e.At, cp.VTime)
+		}
+	}
+}
+
+// TestForkRefusesHashDrift: a checkpoint whose recorded prefix hash no
+// longer matches the replay means the code or configuration changed —
+// the fork must refuse, not silently diverge.
+func TestForkRefusesHashDrift(t *testing.T) {
+	cp, err := CaptureCheckpoint("C1", 1, checkpointBoundary(t, "C1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.PrefixHash = strings.Repeat("0", len(cp.PrefixHash))
+	if _, err := Fork(cp); err == nil || !strings.Contains(err.Error(), "drift") {
+		t.Fatalf("hash-drifted fork = %v, want a drift refusal", err)
+	}
+}
+
+// TestForkRefusesConfigMismatch: forking under a different fault
+// profile than the capture is refused up front.
+func TestForkRefusesConfigMismatch(t *testing.T) {
+	cp, err := CaptureCheckpoint("C1", 1, checkpointBoundary(t, "C1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SetFaultProfile("chaos"); err != nil {
+		t.Fatal(err)
+	}
+	defer SetFaultProfile("")
+	if _, err := Fork(cp); err == nil || !strings.Contains(err.Error(), "fault profile") {
+		t.Fatalf("profile-mismatched fork = %v, want a refusal", err)
+	}
+	// ApplyConfig restores the captured configuration, after which the
+	// fork verifies again.
+	if err := cp.ApplyConfig(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fork(cp); err != nil {
+		t.Fatalf("fork after ApplyConfig: %v", err)
+	}
+}
+
+// TestCheckpointFileRoundTrip: checkpoints survive the write/read cycle
+// byte-for-byte in their verified fields.
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	cp, err := CaptureCheckpoint("C1", 1, checkpointBoundary(t, "C1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "f3.checkpoint")
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *cp {
+		t.Fatalf("checkpoint round trip drifted:\n got %+v\nwant %+v", got, cp)
+	}
+}

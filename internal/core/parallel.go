@@ -1,14 +1,18 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/runstats"
+	"repro/internal/sim"
 )
 
 // The parallel experiment runner. Every experiment builds its own World —
@@ -27,6 +31,24 @@ type RunReport struct {
 	Result *Result // nil when Err != nil
 	Err    error
 	Wall   time.Duration
+
+	// Partial marks an experiment aborted mid-run by the supervision
+	// layer (stall watchdog, deadline, or graceful shutdown); Err carries
+	// the cause and the kernel diagnostic.
+	Partial bool
+	// Skipped marks an experiment that never started because a shutdown
+	// was already pending when its worker picked it up.
+	Skipped bool
+	// FromJournal marks a report replayed from a resume journal instead
+	// of executed (Attempts is 0 for such reports).
+	FromJournal bool
+	// Attempts counts executions, >1 only under -max-retries.
+	Attempts int
+	// Violation flags a determinism violation: a retry of this experiment
+	// produced different outcome bytes than the first attempt. The
+	// latest attempt's outcome is kept, but the run must not be trusted
+	// (and is never journaled).
+	Violation bool
 }
 
 // runPool executes run(0..n-1) across at most workers goroutines.
@@ -61,23 +83,42 @@ func runPool(n, workers int, run func(i int)) {
 }
 
 // runOne executes a single experiment, converting panics into errors so
-// one broken experiment can never truncate a sweep report. When a
-// wall-clock collector is active it gets the experiment's wall time and
-// pass/fail — telemetry that stays on the nondeterministic plane (the
-// deterministic Result never carries wall data).
+// one broken experiment can never truncate a sweep report. The run is
+// wrapped in a supervision scope: the kernels its worlds build register
+// with the scope, a supervisor abort unwinds here as a *sim.Cancelled
+// and becomes a partial report, and a shutdown pending before the start
+// skips the experiment outright. When a wall-clock collector is active
+// it gets the experiment's wall time and pass/fail — telemetry that
+// stays on the nondeterministic plane (the deterministic Result never
+// carries wall data).
 func runOne(id string, seed uint64) (rep RunReport) {
 	rep = RunReport{ID: id, Seed: seed}
+	if cause := ShutdownCause(); cause != nil {
+		rep.Skipped = true
+		rep.Err = fmt.Errorf("experiment %s: skipped: %v", id, cause)
+		return rep
+	}
 	runner, ok := Experiments[id]
 	if !ok {
 		rep.Err = fmt.Errorf("experiment %s: unknown ID", id)
 		return rep
 	}
+	sc, endScope := beginScope(id, seed)
 	started := time.Now()
 	defer func() {
+		endScope()
 		if r := recover(); r != nil {
 			rep.Result = nil
-			rep.Err = fmt.Errorf("experiment %s: panic: %v", id, r)
 			rep.Wall = time.Since(started)
+			if c, isCancel := sim.AsCancelled(r); isCancel {
+				rep.Partial = true
+				rep.Err = fmt.Errorf("experiment %s: aborted: %w", id, c)
+				if leak := poolLeaks(sc); leak != "" {
+					rep.Err = fmt.Errorf("%w; %s", rep.Err, leak)
+				}
+			} else {
+				rep.Err = fmt.Errorf("experiment %s: panic: %v", id, r)
+			}
 		}
 		if c := runstats.Active(); c != nil {
 			c.RecordExperiment(id, seed, rep.Wall,
@@ -95,17 +136,121 @@ func runOne(id string, seed uint64) (rep RunReport) {
 	return rep
 }
 
+// poolLeaks audits the event-pool ledger of every kernel an aborted
+// experiment built: allocations must equal releases plus events still
+// sitting in a queue (the aborted kernel drained its own queue; sibling
+// kernels of a multi-world experiment may legitimately still hold
+// scheduled events). Returns "" when the ledgers balance.
+func poolLeaks(sc *expScope) string {
+	var leaked uint64
+	var bad int
+	for _, k := range sc.kernelList() {
+		ps := k.PoolStats()
+		gets := ps.Hits + ps.Misses
+		accounted := ps.Puts + uint64(k.Pending())
+		if gets > accounted {
+			leaked += gets - accounted
+			bad++
+		}
+	}
+	if leaked == 0 {
+		return ""
+	}
+	return fmt.Sprintf("event pool leaked %d events across %d kernels", leaked, bad)
+}
+
+// outcomeFingerprint hashes everything deterministic about a report —
+// the full result payload on success, the error text on failure — so a
+// retried experiment can be checked for byte-identical reproduction.
+func outcomeFingerprint(rep RunReport) string {
+	h := sha256.New()
+	switch {
+	case rep.Err != nil:
+		io.WriteString(h, "err\x00")
+		io.WriteString(h, rep.Err.Error())
+	case rep.Result != nil:
+		payload, err := encodeResultPayload(rep.Result)
+		if err != nil {
+			io.WriteString(h, "encode-failure\x00")
+			io.WriteString(h, err.Error())
+		} else {
+			h.Write(payload)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// RunOptions extends RunExperiments with the supervision-layer knobs.
+type RunOptions struct {
+	// Workers sizes the pool (<=1 is sequential).
+	Workers int
+	// MaxRetries re-runs a failed experiment up to this many extra times.
+	// Because experiments are deterministic, a retry must reproduce the
+	// first attempt's outcome byte for byte; a divergence flags the
+	// report's Violation bit instead of being papered over.
+	MaxRetries int
+	// Journal, when set, serves already-journaled (experiment, seed)
+	// outcomes without re-running them and records fresh completions
+	// (fsync'd per record) for the next resume.
+	Journal *Journal
+}
+
+// runSupervised wraps runOne with the journal short-circuit and the
+// bounded-retry determinism self-check.
+func runSupervised(id string, seed uint64, opt RunOptions) RunReport {
+	if opt.Journal != nil {
+		if rep, ok := opt.Journal.Lookup(id, seed); ok {
+			if c := runstats.Active(); c != nil {
+				c.CountJournalServed()
+			}
+			return rep
+		}
+	}
+	rep := runOne(id, seed)
+	rep.Attempts = 1
+	if rep.Err != nil && !rep.Partial && !rep.Skipped && opt.MaxRetries > 0 {
+		// Retry is a determinism self-check, not flake laundering: every
+		// attempt must reproduce the first attempt's bytes exactly.
+		first := outcomeFingerprint(rep)
+		for rep.Err != nil && !rep.Partial && !rep.Skipped &&
+			rep.Attempts <= opt.MaxRetries && ShutdownCause() == nil {
+			next := runOne(id, seed)
+			next.Attempts = rep.Attempts + 1
+			next.Violation = rep.Violation
+			if c := runstats.Active(); c != nil {
+				c.CountRetry()
+			}
+			if !next.Skipped && !next.Partial && outcomeFingerprint(next) != first {
+				next.Violation = true
+				if c := runstats.Active(); c != nil {
+					c.CountViolation()
+				}
+			}
+			rep = next
+		}
+	}
+	if opt.Journal != nil {
+		opt.Journal.Record(rep)
+	}
+	return rep
+}
+
 // RunExperiments executes the given experiment IDs with one seed across a
 // pool of workers, returning reports in input order regardless of worker
 // count. Unknown IDs and experiment failures become per-report errors;
 // the remaining experiments still run.
 func RunExperiments(ids []string, seed uint64, workers int) []RunReport {
+	return RunExperimentsOpts(ids, seed, RunOptions{Workers: workers})
+}
+
+// RunExperimentsOpts is RunExperiments with the full option set.
+func RunExperimentsOpts(ids []string, seed uint64, opt RunOptions) []RunReport {
 	if c := runstats.Active(); c != nil {
 		c.SetTotalExperiments(len(ids))
 	}
 	reports := make([]RunReport, len(ids))
-	runPool(len(ids), workers, func(i int) {
-		reports[i] = runOne(ids[i], seed)
+	runPool(len(ids), opt.Workers, func(i int) {
+		reports[i] = runSupervised(ids[i], seed, opt)
 	})
 	return reports
 }

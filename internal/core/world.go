@@ -90,6 +90,7 @@ func NewWorld(cfg WorldConfig) (*World, error) {
 	}
 	k := sim.NewKernel(opts...)
 	runstats.AttachKernel(k)
+	superviseKernel(k)
 	if cfg.MuteTrace {
 		k.Trace().SetMuted(true)
 	}

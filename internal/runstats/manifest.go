@@ -22,9 +22,10 @@ type Manifest struct {
 	GOMAXPROCS int       `json:"gomaxprocs"`
 	NumCPU     int       `json:"num_cpu"`
 
-	Kernel KernelStats  `json:"kernel"`
-	Heap   HeapStats    `json:"heap"`
-	Phases []PhaseEntry `json:"phases,omitempty"`
+	Kernel      KernelStats      `json:"kernel"`
+	Heap        HeapStats        `json:"heap"`
+	Supervision SupervisionStats `json:"supervision"`
+	Phases      []PhaseEntry     `json:"phases,omitempty"`
 	// Experiments is the per-experiment wall-clock breakdown, in finish
 	// order (nondeterministic under -parallel by nature).
 	Experiments []ExperimentEntry `json:"experiments,omitempty"`
@@ -42,6 +43,18 @@ type KernelStats struct {
 	PoolHitRate   float64 `json:"pool_hit_rate"`
 	MaxQueueDepth int64   `json:"max_queue_depth"`
 	VTimeReached  string  `json:"vtime_reached,omitempty"`
+}
+
+// SupervisionStats counts the supervision layer's interventions
+// (DESIGN.md §13). All zero on an undisturbed run; the section is
+// always present so consumers can rely on the key.
+type SupervisionStats struct {
+	Stalls                uint64 `json:"stalls"`
+	DeadlineAborts        uint64 `json:"deadline_aborts"`
+	Cancels               uint64 `json:"cancels"`
+	Retries               uint64 `json:"retries"`
+	DeterminismViolations uint64 `json:"determinism_violations"`
+	JournalServed         uint64 `json:"journal_served"`
 }
 
 // HeapStats are the Go heap watermarks of the run.
@@ -99,6 +112,14 @@ func (c *Collector) Manifest() *Manifest {
 			MaxAllocBytes: c.heapMax.Load(),
 			SysBytes:      c.heapSys.Load(),
 			NumGC:         c.numGC.Load(),
+		},
+		Supervision: SupervisionStats{
+			Stalls:                c.supStalls.Load(),
+			DeadlineAborts:        c.supDeadlines.Load(),
+			Cancels:               c.supCancels.Load(),
+			Retries:               c.supRetries.Load(),
+			DeterminismViolations: c.supViolations.Load(),
+			JournalServed:         c.supJournal.Load(),
 		},
 	}
 	if events > 0 {

@@ -76,6 +76,15 @@ type Collector struct {
 	expsDone atomic.Int64
 	expTotal atomic.Int64
 
+	// Supervision-layer counters (DESIGN.md §13), fed by the watchdog
+	// sweeper and the supervised runner.
+	supStalls     atomic.Uint64 // vtime-stall watchdog aborts
+	supDeadlines  atomic.Uint64 // wall-clock deadline aborts
+	supCancels    atomic.Uint64 // experiment cancellations, any cause
+	supRetries    atomic.Uint64 // -max-retries re-executions
+	supViolations atomic.Uint64 // retries that produced different bytes
+	supJournal    atomic.Uint64 // experiments served from a resume journal
+
 	mu         sync.Mutex
 	phases     map[string]time.Duration
 	phaseOrder []string
@@ -142,10 +151,12 @@ func AttachKernel(k *sim.Kernel) {
 	}
 }
 
-// Attach installs a probe on k feeding this collector.
+// Attach installs a probe on k feeding this collector. It joins the
+// probe chain rather than claiming the slot, so the supervision layer's
+// stall watch and the telemetry plane can ride the same kernel.
 func (c *Collector) Attach(k *sim.Kernel) {
 	c.kernels.Add(1)
-	k.SetProbe(&kernelProbe{c: c}, 0)
+	k.AttachProbe(&kernelProbe{c: c}, 0)
 }
 
 // AddHosts records n hosts joining a fleet (shown by the progress
@@ -194,6 +205,26 @@ func Phase(name string) (stop func()) {
 	}
 	return c.StartPhase(name)
 }
+
+// CountStall records a vtime-stall watchdog abort.
+func (c *Collector) CountStall() { c.supStalls.Add(1) }
+
+// CountDeadline records a wall-clock deadline abort.
+func (c *Collector) CountDeadline() { c.supDeadlines.Add(1) }
+
+// CountCancel records an experiment cancellation of any cause.
+func (c *Collector) CountCancel() { c.supCancels.Add(1) }
+
+// CountRetry records a -max-retries re-execution.
+func (c *Collector) CountRetry() { c.supRetries.Add(1) }
+
+// CountViolation records a retry that failed to reproduce the first
+// attempt's bytes.
+func (c *Collector) CountViolation() { c.supViolations.Add(1) }
+
+// CountJournalServed records an experiment satisfied from a resume
+// journal instead of executed.
+func (c *Collector) CountJournalServed() { c.supJournal.Add(1) }
 
 // Events returns the fired-event total sampled so far.
 func (c *Collector) Events() uint64 { return c.events.Load() }

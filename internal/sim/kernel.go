@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -180,13 +181,24 @@ type Kernel struct {
 
 	// Wall-clock-plane sampling (DESIGN.md §12). probe is nil unless a
 	// telemetry collector attached one, so the disabled hot-loop cost is
-	// a single pointer check. poolHits/poolMisses are deterministic
-	// bookkeeping of the free list, kept out of the obs registry so the
-	// metrics snapshot bytes are independent of telemetry.
+	// a single pointer check. poolHits/poolMisses/poolPuts are
+	// deterministic bookkeeping of the free list, kept out of the obs
+	// registry so the metrics snapshot bytes are independent of
+	// telemetry. Get/put balance (hits+misses == puts once a run is
+	// fully wound down) must hold even across an aborted run.
 	probe      Probe
 	probeEvery uint64
 	poolHits   uint64
 	poolMisses uint64
+	poolPuts   uint64
+
+	// cancelReq is the only cross-goroutine field on the kernel: a
+	// pending CancelRun cause, honoured at the next step boundary
+	// (cancel.go, DESIGN.md §13).
+	cancelReq atomic.Pointer[cancelState]
+	// lastHandler is the event-name class of the most recently executed
+	// event, reported in abort diagnostics.
+	lastHandler string
 }
 
 // Option configures a Kernel at construction time.
@@ -304,12 +316,28 @@ func (k *Kernel) OpenSpan(cat Category, actor, msg, vector string, tags ...obs.T
 // Pending reports how many events are waiting in the queue.
 func (k *Kernel) Pending() int { return len(k.queue) }
 
-// PoolStats reports how many schedules were served from the event free
-// list versus allocated fresh. The counts are deterministic (they follow
-// the schedule/fire sequence exactly) but live outside the obs registry:
-// they describe the runtime's memory behaviour, not the simulated world.
-func (k *Kernel) PoolStats() (hits, misses uint64) {
-	return k.poolHits, k.poolMisses
+// PoolStat is the event free list's get/put ledger. Gets (Hits+Misses)
+// count Schedule calls; Puts count events returned to the pool — fired,
+// cancelled, or released by an aborted run. Once a kernel is fully wound
+// down (queue empty or run aborted), Hits+Misses == Puts: a supervisor
+// abort must not leak pooled events (DESIGN.md §13).
+type PoolStat struct {
+	Hits   uint64 // schedules served from the free list
+	Misses uint64 // schedules that had to allocate
+	Puts   uint64 // events returned to the free list
+	Free   int    // structs idle in the free list right now
+}
+
+// Balanced reports whether every scheduled event has been returned to
+// the pool (no events queued or leaked).
+func (s PoolStat) Balanced() bool { return s.Hits+s.Misses == s.Puts }
+
+// PoolStats reports the free list's get/put ledger. The counts are
+// deterministic (they follow the schedule/fire sequence exactly) but
+// live outside the obs registry: they describe the runtime's memory
+// behaviour, not the simulated world.
+func (k *Kernel) PoolStats() PoolStat {
+	return PoolStat{Hits: k.poolHits, Misses: k.poolMisses, Puts: k.poolPuts, Free: len(k.free)}
 }
 
 // DefaultProbeEvery is the sampling cadence SetProbe installs when the
@@ -328,6 +356,37 @@ func (k *Kernel) SetProbe(p Probe, every uint64) {
 	}
 	k.probe = p
 	k.probeEvery = every
+}
+
+// teeProbe fans one sample stream out to two probes in attach order.
+type teeProbe struct{ a, b Probe }
+
+func (t teeProbe) KernelSample(s Sample) {
+	t.a.KernelSample(s)
+	t.b.KernelSample(s)
+}
+
+// AttachProbe chains p onto whatever probe is already installed; every
+// delivered sample reaches both. The effective cadence becomes the
+// smaller of the existing and requested `every` (<= 0 selects
+// DefaultProbeEvery). The telemetry collector and the stall watchdog
+// both ride the same hook this way without knowing about each other.
+func (k *Kernel) AttachProbe(p Probe, every uint64) {
+	if p == nil {
+		return
+	}
+	if every == 0 {
+		every = DefaultProbeEvery
+	}
+	if k.probe == nil {
+		k.probe = p
+		k.probeEvery = every
+		return
+	}
+	if every < k.probeEvery {
+		k.probeEvery = every
+	}
+	k.probe = teeProbe{a: k.probe, b: p}
 }
 
 // FlushProbe delivers one final sample to the attached probe (no-op
@@ -399,6 +458,7 @@ func (k *Kernel) release(ev *Event) {
 	ev.fn = nil
 	ev.name = ""
 	ev.cause = Cause{}
+	k.poolPuts++
 	k.free = append(k.free, ev)
 }
 
@@ -457,8 +517,12 @@ func (k *Kernel) Cancel(t Timer) {
 func (k *Kernel) Stop() { k.stopped = true }
 
 // Step executes the next pending event, advancing the clock to its
-// timestamp. It reports whether an event was executed.
+// timestamp. It reports whether an event was executed. A pending
+// CancelRun is honoured here, before the next event is popped — the
+// step boundary is the only place a supervised run may be torn down
+// (the abort unwinds as a *Cancelled panic; see cancel.go).
 func (k *Kernel) Step() bool {
+	k.abortIfCancelled()
 	if len(k.queue) == 0 {
 		return false
 	}
@@ -478,6 +542,7 @@ func (k *Kernel) Step() bool {
 	if k.kernelEvents {
 		k.trace.Emit(k.now, CatKernel, "kernel", "execute "+ev.name, obs.Ti("seq", int64(ev.seq)))
 	}
+	k.lastHandler = ev.name
 	// Reinstate the causal context captured at scheduling time, so work
 	// done inside timer callbacks attributes to the episode that armed
 	// the timer. The callback is read out before it runs because the

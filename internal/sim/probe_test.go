@@ -72,15 +72,18 @@ func TestPoolStatsAccounting(t *testing.T) {
 	k.Step()
 	k.Schedule(time.Second, "b", fn) // reuses a's struct
 	k.Step()
-	hits, misses := k.PoolStats()
-	if hits != 1 || misses != 1 {
-		t.Fatalf("PoolStats = %d hits / %d misses, want 1/1", hits, misses)
+	ps := k.PoolStats()
+	if ps.Hits != 1 || ps.Misses != 1 {
+		t.Fatalf("PoolStats = %d hits / %d misses, want 1/1", ps.Hits, ps.Misses)
+	}
+	if !ps.Balanced() {
+		t.Fatalf("pool unbalanced after drained run: %+v", ps)
 	}
 	p := &recordingProbe{}
 	k.SetProbe(p, 1)
 	k.FlushProbe()
-	if p.hits != hits || p.misses != misses {
-		t.Fatalf("probe saw %d/%d, PoolStats says %d/%d", p.hits, p.misses, hits, misses)
+	if p.hits != ps.Hits || p.misses != ps.Misses {
+		t.Fatalf("probe saw %d/%d, PoolStats says %d/%d", p.hits, p.misses, ps.Hits, ps.Misses)
 	}
 }
 
