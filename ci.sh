@@ -55,6 +55,14 @@ go test -race -timeout 300s -run 'Runstats' ./internal/core
 go test -race -timeout 300s -run 'Cancel|Stall|Watchdog|Deadline|Shutdown|Retry|Journal|Checkpoint|Fork|Supervision' \
     ./internal/sim ./internal/core ./cmd/cyberlab
 
+# Partition race lane (DESIGN.md §14): the epoch-barrier worker pool,
+# the cross-partition mailboxes, and the cancel fan-out across shard
+# kernels all cross goroutines by construction, so every partition test
+# — mailbox ordering, worker-count byte identity, deadline fan-out, and
+# the compose-with-parallel/journal/checkpoint properties — runs under
+# -race in the kernel, the network substrate, and the experiment layer.
+go test -race -timeout 300s -run 'Partition' ./internal/sim ./internal/netsim ./internal/core
+
 # Bench lane: compile and run every obs/provenance benchmark once, so a
 # benchmark that rots (or an accidental per-event allocation regression
 # caught by its companion test) fails CI rather than bitrotting.
@@ -68,8 +76,12 @@ go test -timeout 300s -bench=. -benchtime=1x -run '^$' ./internal/obs ./internal
 # frozen baseline (B/op is deterministic; ns/op is allowed to vary).
 # The C7 benches must also carry the ns/host-event unit cost (DESIGN.md
 # §12); presence is gated, the value is wall-clock and free to vary.
+# -require names must exist in every snapshot including the frozen
+# baseline, so the §14 partitioned pair — which has no baseline entry by
+# construction — is gated through -require-metric instead: the "after"
+# snapshot must carry both benches with their ns/host-event unit cost.
 bench_req='SeedDocumentsEager,ScheduleFire,ScheduleCancel,ClaimC7Reduced,ClaimC7AramcoScale'
-bench_metric='ClaimC7Reduced=ns/host-event,ClaimC7AramcoScale=ns/host-event'
+bench_metric='ClaimC7Reduced=ns/host-event,ClaimC7AramcoScale=ns/host-event,ClaimC7Partitioned1=ns/host-event,ClaimC7Partitioned4=ns/host-event'
 go run ./cmd/benchjson -check BENCH_C7.json -require "$bench_req" \
     -min-bytes-ratio ClaimC7Reduced=2 -require-metric "$bench_metric"
 tmp_bench=$(mktemp)
@@ -79,21 +91,27 @@ go test -timeout 300s -run '^$' -bench 'ScheduleFire|ScheduleCancel' -benchtime=
 # next to the silent number is the machine-checkable form of ISSUE 7's
 # "busy fleet within 1.3x of the silent baseline" bound (the full-scale
 # assertion lives in TestBusyFleetMemoryBound).
-go test -timeout 300s -run '^$' -bench 'ClaimC7Reduced|ClaimC7AramcoScale|UsersC7BusyReduced' -benchtime=1x -benchmem . | tee -a "$tmp_bench"
+# The Partitioned1/Partitioned4 pair prices the §14 epoch-barrier and
+# mailbox machinery at two worker widths over an identical world — both
+# must carry the ns/host-event unit cost next to the single-kernel
+# numbers.
+go test -timeout 600s -run '^$' -bench 'ClaimC7Reduced|ClaimC7AramcoScale|ClaimC7Partitioned|UsersC7BusyReduced' -benchtime=1x -benchmem . | tee -a "$tmp_bench"
 go run ./cmd/benchjson -o BENCH_C7.json -label after \
     -require "$bench_req" -min-bytes-ratio ClaimC7Reduced=2 -require-metric "$bench_metric" < "$tmp_bench"
 rm -f "$tmp_bench"
 
-# Telemetry lane (DESIGN.md §12): profile the full 30,000-host C7 run
-# with the live progress ticker on, and gate the shape of the wall-clock
-# manifest it emits — plane tag, kernel unit costs, phase timers, and the
-# per-experiment wall entry. Values are nondeterministic by design and
+# Telemetry lane (DESIGN.md §12): profile the full 30,000-host C7 run —
+# now the six-site partitioned world (§14), advanced here by four shard
+# workers — with the live progress ticker on, and gate the shape of the
+# wall-clock manifest it emits: plane tag, kernel unit costs, phase
+# timers, the per-experiment wall entry, the partition count, and the
+# per-shard wall breakdown. Values are nondeterministic by design and
 # never compared; only presence is gated.
 tmp_manifest=$(mktemp)
-go run ./cmd/cyberlab profile -run C7 -progress -o "$tmp_manifest"
+go run ./cmd/cyberlab profile -run C7 -partitions 4 -progress -o "$tmp_manifest"
 for key in '"plane": "wall-clock"' '"events_fired"' '"ns_per_event"' \
     '"max_queue_depth"' '"phases"' '"id": "C7"' '"wall_seconds"' \
-    '"supervision"'; do
+    '"supervision"' '"partitions": 6' '"partition_wall"'; do
     if ! grep -qF "$key" "$tmp_manifest"; then
         echo "profile manifest is missing $key:" >&2
         cat "$tmp_manifest" >&2
@@ -112,7 +130,10 @@ trap 'rm -f "$tmp_report" "$tmp_trace" "$tmp_dot" "$tmp_journal"' EXIT
 # Regenerate from a live run and fail if the committed copy differs. The
 # run deliberately keeps the -progress ticker ON: a wall-clock telemetry
 # leak into the report would trip this byte-for-byte diff (DESIGN.md §12).
-go run ./cmd/cyberlab -report -progress -o "$tmp_report" >/dev/null
+# It also runs at -partitions 4 while the committed file was generated at
+# the default width, so one diff gates both report drift AND the §14
+# worker-count invariance of every partitioned experiment's report bytes.
+go run ./cmd/cyberlab -report -progress -partitions 4 -o "$tmp_report" >/dev/null
 if ! diff -u EXPERIMENTS.md "$tmp_report"; then
     echo "EXPERIMENTS.md drifted from the code; regenerate with:" >&2
     echo "  go run ./cmd/cyberlab -report -o EXPERIMENTS.md" >&2

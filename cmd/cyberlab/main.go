@@ -13,6 +13,7 @@
 //	cyberlab -run R1..R5 [-faults chaos]
 //	cyberlab -run D1 [-activity enterprise]
 //	cyberlab -all [-parallel 8] [-trace t.jsonl] [-metrics m.json]
+//	cyberlab -run C7 [-partitions 4]
 //	cyberlab -all -seeds 1..16 [-parallel 8]
 //	cyberlab -report [-o EXPERIMENTS.md]
 //	cyberlab -rules
@@ -39,7 +40,16 @@
 // -parallel fans experiments out across a worker pool; the report, trace
 // and metrics outputs are byte-identical to a sequential run because each
 // experiment owns an independent world and results are emitted in report
-// order. Per-experiment wall-clock timings go to stderr so the report
+// order.
+//
+// -partitions sizes the worker pool that advances a partitioned world's
+// site shards between deterministic sync epochs (DESIGN.md §14; today
+// the C7 Aramco fleet, sharded across six sites). The site layout is
+// scenario state, the worker count is not: reports, traces, metrics,
+// provenance and alerts are byte-identical at -partitions 1, 2, 4 or 8
+// (0 = all cores), and the flag composes with -parallel, -journal,
+// -resume and checkpoint/fork — a run journaled at one width resumes at
+// any other. Per-experiment wall-clock timings go to stderr so the report
 // itself stays deterministic. -seeds switches to a Monte Carlo sweep that
 // aggregates per-metric min/mean/max across seeds. -trace writes the
 // experiments' retained event records as JSONL (one object per line, each
@@ -166,6 +176,7 @@ func run(args []string) (err error) {
 		seed       = fs.Uint64("seed", 1, "deterministic simulation seed")
 		seeds      = fs.String("seeds", "", "seed sweep: A..B (inclusive) or comma list; aggregates min/mean/max per metric")
 		parallel   = fs.Int("parallel", 1, "worker goroutines for -all, -run lists and -seeds")
+		partitions = fs.Int("partitions", 1, "worker goroutines advancing a partitioned world's site shards (0 = all cores); output bytes are identical at any width")
 		out        = fs.String("o", "", "also write the report to this file")
 		traceOut   = fs.String("trace", "", "write retained trace events to this file as JSONL")
 		metricsOut = fs.String("metrics", "", "write the merged metrics snapshot to this file as JSON")
@@ -187,6 +198,9 @@ func run(args []string) (err error) {
 		return err
 	}
 	if err := core.SetActivityMix(*activity); err != nil {
+		return err
+	}
+	if err := core.SetPartitionWorkers(*partitions); err != nil {
 		return err
 	}
 	if *parallel < 1 {
@@ -423,6 +437,7 @@ func runProfile(args []string) error {
 		all        = fs.Bool("all", false, "profile every experiment")
 		seed       = fs.Uint64("seed", 1, "deterministic simulation seed")
 		parallel   = fs.Int("parallel", 1, "worker goroutines")
+		partitions = fs.Int("partitions", 1, "worker goroutines advancing a partitioned world's site shards (0 = all cores)")
 		out        = fs.String("o", "", "write the JSON run manifest to this file (default stdout)")
 		faultsProf = fs.String("faults", "", "adversity profile for the R-series experiments")
 		activity   = fs.String("activity", "", "benign user-activity mix for scenario fleets")
@@ -442,6 +457,9 @@ func runProfile(args []string) error {
 		return err
 	}
 	if err := core.SetActivityMix(*activity); err != nil {
+		return err
+	}
+	if err := core.SetPartitionWorkers(*partitions); err != nil {
 		return err
 	}
 	if err := validateOutPath("-o", *out); err != nil {
@@ -554,6 +572,7 @@ func runCheckpoint(args []string) error {
 		at         = fs.Duration("at", 0, "checkpoint boundary as virtual time past the simulation epoch (required, e.g. 30m)")
 		faultsProf = fs.String("faults", "", "adversity profile for the R-series experiments")
 		activity   = fs.String("activity", "", "benign user-activity mix for scenario fleets")
+		partitions = fs.Int("partitions", 1, "worker goroutines advancing a partitioned world's site shards (0 = all cores)")
 		out        = fs.String("o", "", "write the checkpoint JSON to this file (default stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -572,6 +591,9 @@ func runCheckpoint(args []string) error {
 		return err
 	}
 	if err := core.SetActivityMix(*activity); err != nil {
+		return err
+	}
+	if err := core.SetPartitionWorkers(*partitions); err != nil {
 		return err
 	}
 	if err := validateOutPath("-o", *out); err != nil {
@@ -605,14 +627,18 @@ func runCheckpoint(args []string) error {
 func runFork(args []string) error {
 	fs := flag.NewFlagSet("cyberlab fork", flag.ContinueOnError)
 	var (
-		from     = fs.String("from", "", "checkpoint file to restore (required)")
-		traceOut = fs.String("trace", "", "write the tail trace events (past the checkpoint) to this file as JSONL")
+		from       = fs.String("from", "", "checkpoint file to restore (required)")
+		traceOut   = fs.String("trace", "", "write the tail trace events (past the checkpoint) to this file as JSONL")
+		partitions = fs.Int("partitions", 1, "worker goroutines advancing a partitioned world's site shards (0 = all cores); the replay verifies against the checkpoint at any width")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *from == "" {
 		return fmt.Errorf("fork: -from FILE is required")
+	}
+	if err := core.SetPartitionWorkers(*partitions); err != nil {
+		return err
 	}
 	if err := validateOutPath("-trace", *traceOut); err != nil {
 		return err

@@ -359,13 +359,18 @@ func RunC6Suicide(seed uint64) (*Result, error) {
 	return res, nil
 }
 
-// RunC7AramcoScale reproduces the 30,000-workstation destruction: the
-// fleet is saturated over shares, then every machine wipes at the
-// hardcoded trigger and stops booting.
+// RunC7AramcoScale reproduces the 30,000-workstation destruction on the
+// partitioned multi-site world (DESIGN.md §14): six site kernels — the
+// headquarters hub plus five regional offices — saturate over their own
+// shares after a cross-site carry, then every machine wipes at the
+// hardcoded trigger, stops booting, and reports home to the hub through
+// the epoch mailboxes.
 func RunC7AramcoScale(seed uint64) (*Result, error) {
-	return runAramcoScale(seed, 30000)
+	return RunAramcoPartitionedN(seed, 30000, aramcoSiteCount, 0, 0, false)
 }
 
+// runAramcoScale is the single-kernel C7 slice the reduced benches and
+// substrate tests drive (the registry C7 runs the partitioned world).
 func runAramcoScale(seed uint64, fleet int) (*Result, error) {
 	return RunAramcoScaleN(seed, fleet, 0, false)
 }

@@ -87,6 +87,56 @@ func (r *Result) CaptureObs(ks ...*sim.Kernel) {
 	}
 }
 
+// CaptureObsMerged is CaptureObs for partitioned worlds (DESIGN.md
+// §14): metrics snapshots merge and span IDs anchor in partition order
+// exactly as CaptureObs would, but instead of concatenating whole
+// streams the retained trace records interleave into one time-ordered
+// stream — a k-way merge keyed (vtime, partition index, record seq).
+// Each kernel's stream is already vtime-nondecreasing in record order,
+// so the merge is well-defined, and the key is pure simulation state:
+// the merged bytes are invariant under the partition worker count.
+func (r *Result) CaptureObsMerged(ks ...*sim.Kernel) {
+	streams := make([][]obs.Event, len(ks))
+	total := 0
+	for i, k := range ks {
+		k.FlushProbe()
+		r.Obs.Merge(k.Metrics().Snapshot())
+		events := k.Trace().Events()
+		if base := obs.Span(r.spanBase); base != 0 {
+			for j := range events {
+				if events[j].Span != 0 {
+					events[j].Span += base
+				}
+				if events[j].Parent != 0 {
+					events[j].Parent += base
+				}
+			}
+		}
+		r.spanBase += k.SpanCount()
+		obs.TagAll(events, obs.T("exp", r.ID))
+		streams[i] = events
+		total += len(events)
+	}
+	merged := make([]obs.Event, 0, total)
+	idx := make([]int, len(streams))
+	for len(merged) < total {
+		best := -1
+		for i, s := range streams {
+			if idx[i] >= len(s) {
+				continue
+			}
+			// Strict Before keeps ties on the lowest partition index —
+			// the partition-anchor component of the merge key.
+			if best == -1 || s[idx[i]].At.Before(streams[best][idx[best]].At) {
+				best = i
+			}
+		}
+		merged = append(merged, streams[best][idx[best]])
+		idx[best]++
+	}
+	r.Events = append(r.Events, merged...)
+}
+
 // provenanceTreeLimit caps the rendered tree; larger forests (C7 runs
 // 30,000 hosts) report stats only.
 const provenanceTreeLimit = 40

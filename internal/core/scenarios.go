@@ -245,10 +245,24 @@ type AramcoOptions struct {
 	// (DESIGN.md §11). Zero defers to the -activity global; users.MixNone
 	// forces a silent fleet.
 	Activity users.Mix
+	// The multi-site fields below shape one shard of a partitioned fleet
+	// (DESIGN.md §14). LANName/Subnet give the site its own identity
+	// (defaults "aramco-corp"/"10.30.0"); FirstIndex offsets workstation
+	// numbering so site fleets concatenate into one WS-00001..WS-NNNNN
+	// namespace; NoPatient0 leaves the site clean until infection arrives
+	// from another partition; ReporterForward, when set, homes the wipe
+	// reporter domain in another partition — reports route through the
+	// cross-partition mailbox instead of a local server.
+	LANName         string
+	Subnet          string
+	FirstIndex      int
+	NoPatient0      bool
+	ReporterForward func(*netsim.Request)
 }
 
 // BuildAramco assembles the scenario on an existing world. Patient zero is
-// infected immediately.
+// infected immediately (unless NoPatient0 defers the infection to a
+// cross-site carry).
 func BuildAramco(w *World, opts AramcoOptions) (*AramcoScenario, error) {
 	if opts.Workstations <= 0 {
 		opts.Workstations = 100
@@ -256,8 +270,14 @@ func BuildAramco(w *World, opts AramcoOptions) (*AramcoScenario, error) {
 	if opts.DocsPerHost <= 0 {
 		opts.DocsPerHost = 5
 	}
+	if opts.LANName == "" {
+		opts.LANName = "aramco-corp"
+	}
+	if opts.Subnet == "" {
+		opts.Subnet = "10.30.0"
+	}
 	sc := &AramcoScenario{World: w}
-	sc.LAN = w.NewLAN("aramco-corp", "10.30.0", false)
+	sc.LAN = w.NewLAN(opts.LANName, opts.Subnet, false)
 
 	cfg := shamoon.Config{
 		TriggerAt:      opts.TriggerAt,
@@ -278,11 +298,15 @@ func BuildAramco(w *World, opts AramcoOptions) (*AramcoScenario, error) {
 	sc.Shamoon = sh
 	sh.BindTo(w.Registry)
 
-	w.Internet.RegisterDomain(cfg.ReporterDomain, "203.0.113.66")
-	w.Internet.BindServer("203.0.113.66", netsim.HandlerFunc(func(req *netsim.Request) *netsim.Response {
-		sc.Reports = append(sc.Reports, req)
-		return netsim.OK(nil)
-	}))
+	if opts.ReporterForward != nil {
+		w.Internet.RegisterRemoteDomain(cfg.ReporterDomain, "203.0.113.66", opts.ReporterForward)
+	} else {
+		w.Internet.RegisterDomain(cfg.ReporterDomain, "203.0.113.66")
+		w.Internet.BindServer("203.0.113.66", netsim.HandlerFunc(func(req *netsim.Request) *netsim.Response {
+			sc.Reports = append(sc.Reports, req)
+			return netsim.OK(nil)
+		}))
+	}
 
 	docBytes := 64 * 1024
 	if opts.LeanImages {
@@ -291,7 +315,7 @@ func BuildAramco(w *World, opts AramcoOptions) (*AramcoScenario, error) {
 	specs := make([]HostSpec, opts.Workstations)
 	for i := range specs {
 		specs[i] = HostSpec{
-			Name: fmt.Sprintf("WS-%05d", i+1),
+			Name: fmt.Sprintf("WS-%05d", opts.FirstIndex+i+1),
 			Opts: []host.Option{host.WithDomain("ARAMCO"), host.WithShares(true),
 				host.WithInternet(true), host.WithEagerDocs(opts.EagerDocs)},
 			Seed: func(h *host.Host) error {
@@ -314,10 +338,24 @@ func BuildAramco(w *World, opts AramcoOptions) (*AramcoScenario, error) {
 		}
 	}
 	sc.Patient0 = sc.Hosts[0]
-	if _, err := sc.Patient0.Execute(sh.MainImage, true); err != nil {
-		return nil, fmt.Errorf("infect patient zero: %w", err)
+	if !opts.NoPatient0 {
+		if _, err := sc.Patient0.Execute(sh.MainImage, true); err != nil {
+			return nil, fmt.Errorf("infect patient zero: %w", err)
+		}
 	}
 	return sc, nil
+}
+
+// Infect runs the Shamoon dropper on the site's designated landing host
+// — how a cross-site carry ignites a NoPatient0 shard.
+func (sc *AramcoScenario) Infect() error {
+	if sc.Shamoon.Infected(sc.Patient0.Name) {
+		return nil
+	}
+	if _, err := sc.Patient0.Execute(sc.Shamoon.MainImage, true); err != nil {
+		return fmt.Errorf("infect %s: %w", sc.Patient0.Name, err)
+	}
+	return nil
 }
 
 // CNIScenario is the detection-engine world: a critical-infrastructure

@@ -1,0 +1,65 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestPartitionRemoteDomainForwards: a remote domain dispatches like a
+// local one — resolve, count, trace — but the request lands in the
+// forward callback and the caller gets a synthetic 200.
+func TestPartitionRemoteDomainForwards(t *testing.T) {
+	k := sim.NewKernel()
+	in := NewInternet(k)
+	var got []*Request
+	in.RegisterRemoteDomain("home.kuwaitdomains.example", "203.0.113.66", func(r *Request) {
+		got = append(got, r)
+	})
+	req := &Request{Method: "GET", Host: "home.kuwaitdomains.example", Path: "/x", Source: "WS-1"}
+	resp, err := in.Dispatch(req)
+	if err != nil {
+		t.Fatalf("Dispatch: %v", err)
+	}
+	if resp.Status != 200 {
+		t.Fatalf("status = %d, want synthetic 200", resp.Status)
+	}
+	if len(got) != 1 || got[0] != req {
+		t.Fatalf("forward saw %v, want the dispatched request", got)
+	}
+	snap := k.Metrics().Snapshot()
+	if snap.Counters["internet.request.remote"] != 1 {
+		t.Errorf("internet.request.remote = %v, want 1", snap.Counters["internet.request.remote"])
+	}
+	if snap.Counters["internet.request.dispatch"] != 1 {
+		t.Errorf("internet.request.dispatch = %v, want 1", snap.Counters["internet.request.dispatch"])
+	}
+}
+
+// TestPartitionRemoteDomainFaultable: the adversity engine's domain
+// faults apply to remote names exactly as to local ones — a takedown
+// stops the forwarding, Restore brings it back.
+func TestPartitionRemoteDomainFaultable(t *testing.T) {
+	k := sim.NewKernel()
+	in := NewInternet(k)
+	calls := 0
+	in.RegisterRemoteDomain("c2.example", "198.51.100.9", func(*Request) { calls++ })
+	if !in.Takedown("c2.example", 0) {
+		t.Fatal("Takedown refused a remote domain")
+	}
+	if _, err := in.Dispatch(&Request{Host: "c2.example"}); err == nil {
+		t.Fatal("dispatch succeeded through a taken-down remote domain")
+	}
+	if calls != 0 {
+		t.Fatalf("forward ran %d times during takedown", calls)
+	}
+	if !in.Restore("c2.example") {
+		t.Fatal("Restore refused")
+	}
+	if _, err := in.Dispatch(&Request{Host: "c2.example"}); err != nil {
+		t.Fatalf("dispatch after restore: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("forward ran %d times after restore, want 1", calls)
+	}
+}

@@ -25,16 +25,24 @@ type Manifest struct {
 	Kernel      KernelStats      `json:"kernel"`
 	Heap        HeapStats        `json:"heap"`
 	Supervision SupervisionStats `json:"supervision"`
-	Phases      []PhaseEntry     `json:"phases,omitempty"`
+	// PartitionWall is the per-shard breakdown of a partitioned world
+	// (DESIGN.md §14), in partition-index order; absent for
+	// unpartitioned runs.
+	PartitionWall []PartitionEntry `json:"partition_wall,omitempty"`
+	Phases        []PhaseEntry     `json:"phases,omitempty"`
 	// Experiments is the per-experiment wall-clock breakdown, in finish
 	// order (nondeterministic under -parallel by nature).
 	Experiments []ExperimentEntry `json:"experiments,omitempty"`
 }
 
 // KernelStats aggregates every sampled kernel's hot-loop telemetry.
+// With a partitioned world (DESIGN.md §14) the aggregates sum across
+// every shard kernel — queue depth is the fleet-wide total, not the
+// last shard to sample.
 type KernelStats struct {
 	Kernels       int64   `json:"kernels"`
 	Hosts         int64   `json:"hosts"`
+	Partitions    int64   `json:"partitions"`
 	EventsFired   uint64  `json:"events_fired"`
 	EventsPerSec  float64 `json:"events_per_wall_second"`
 	NsPerEvent    float64 `json:"ns_per_event"`
@@ -43,6 +51,17 @@ type KernelStats struct {
 	PoolHitRate   float64 `json:"pool_hit_rate"`
 	MaxQueueDepth int64   `json:"max_queue_depth"`
 	VTimeReached  string  `json:"vtime_reached,omitempty"`
+}
+
+// PartitionEntry is one shard's wall record in the manifest: events it
+// stepped inside epoch windows, wall time spent there, and the derived
+// per-event cost. Wall times are per-shard worker time, so their sum
+// can exceed total wall when shards advance concurrently.
+type PartitionEntry struct {
+	Index      int     `json:"index"`
+	Events     uint64  `json:"events"`
+	WallSecs   float64 `json:"wall_seconds"`
+	NsPerEvent float64 `json:"ns_per_event"`
 }
 
 // SupervisionStats counts the supervision layer's interventions
@@ -103,6 +122,7 @@ func (c *Collector) Manifest() *Manifest {
 		Kernel: KernelStats{
 			Kernels:       c.kernels.Load(),
 			Hosts:         c.hosts.Load(),
+			Partitions:    c.partitions.Load(),
 			EventsFired:   events,
 			MaxQueueDepth: c.queueMax.Load(),
 			PoolHits:      hits,
@@ -131,6 +151,13 @@ func (c *Collector) Manifest() *Manifest {
 	}
 	if t := c.VTimeMax(); !t.IsZero() {
 		m.Kernel.VTimeReached = t.Format(time.RFC3339)
+	}
+	for _, p := range c.PartitionWalls() {
+		entry := PartitionEntry{Index: p.Index, Events: p.Steps, WallSecs: p.Wall.Seconds()}
+		if p.Steps > 0 {
+			entry.NsPerEvent = float64(p.Wall.Nanoseconds()) / float64(p.Steps)
+		}
+		m.PartitionWall = append(m.PartitionWall, entry)
 	}
 
 	c.mu.Lock()

@@ -57,10 +57,14 @@ func (c *Collector) StartProgress(w io.Writer, period time.Duration) (stop func(
 			tag = "progress(final)"
 			rate = float64(events) / now.Sub(c.start).Seconds()
 		}
-		fmt.Fprintf(w, "%s: %d/%d exps | hosts %d | vtime %s | %s events (%s/s) | queue %d | heap %s\n",
-			tag, c.expsDone.Load(), c.expTotal.Load(), c.hosts.Load(), vt,
+		parts := ""
+		if n := c.partitions.Load(); n > 0 {
+			parts = fmt.Sprintf(" | parts %d", n)
+		}
+		fmt.Fprintf(w, "%s: %d/%d exps | hosts %d%s | vtime %s | %s events (%s/s) | queue %d | heap %s\n",
+			tag, c.expsDone.Load(), c.expTotal.Load(), c.hosts.Load(), parts, vt,
 			humanCount(float64(events)), humanCount(rate),
-			c.queueLast.Load(), humanBytes(c.heapMax.Load()))
+			c.queueSum.Load(), humanBytes(c.heapMax.Load()))
 	}
 	wg.Add(1)
 	go func() {

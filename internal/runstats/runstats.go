@@ -65,8 +65,9 @@ type Collector struct {
 	poolMisses atomic.Uint64
 	hosts      atomic.Int64
 	kernels    atomic.Int64
-	queueLast  atomic.Int64 // most recently sampled queue depth
-	queueMax   atomic.Int64 // high watermark of sampled queue depth
+	partitions atomic.Int64 // partition count of the current sharded world
+	queueSum   atomic.Int64 // summed sampled queue depth across all kernels
+	queueMax   atomic.Int64 // high watermark of the summed queue depth
 	vtimeMax   atomic.Int64 // max sampled virtual time (ns since epoch)
 
 	// Heap watermarks, refreshed by SampleHeap (ticker + phase edges).
@@ -89,6 +90,7 @@ type Collector struct {
 	phases     map[string]time.Duration
 	phaseOrder []string
 	exps       []ExperimentWall
+	parts      map[int]*PartitionWall
 }
 
 // ExperimentWall is one experiment's wall-clock record.
@@ -97,6 +99,15 @@ type ExperimentWall struct {
 	Seed uint64
 	Wall time.Duration
 	Ok   bool
+}
+
+// PartitionWall is one partition shard's cumulative wall-clock record
+// (DESIGN.md §14): events stepped and wall time spent inside epoch
+// windows, summed across every window the shard advanced through.
+type PartitionWall struct {
+	Index int
+	Steps uint64
+	Wall  time.Duration
 }
 
 // NewCollector returns a standalone collector (tests use this directly;
@@ -112,14 +123,18 @@ func NewCollector() *Collector {
 // collector. A kernel is single-goroutine, so the last-seen fields need
 // no synchronisation; only the collector's counters are shared.
 type kernelProbe struct {
-	c          *Collector
-	lastSteps  uint64
-	lastHits   uint64
-	lastMisses uint64
+	c           *Collector
+	lastSteps   uint64
+	lastHits    uint64
+	lastMisses  uint64
+	lastPending int64
 }
 
 // KernelSample implements sim.Probe. It must stay allocation-free: it
-// runs inside the kernel hot loop.
+// runs inside the kernel hot loop. Queue depth aggregates as a summed
+// per-probe delta — with a partitioned world many kernels sample
+// concurrently, and a last-writer-wins store would report whichever
+// shard sampled last instead of the fleet-wide pressure.
 func (p *kernelProbe) KernelSample(s sim.Sample) {
 	p.c.events.Add(s.Steps - p.lastSteps)
 	p.lastSteps = s.Steps
@@ -127,8 +142,9 @@ func (p *kernelProbe) KernelSample(s sim.Sample) {
 	p.lastHits = s.PoolHits
 	p.c.poolMisses.Add(s.PoolMisses - p.lastMisses)
 	p.lastMisses = s.PoolMisses
-	p.c.queueLast.Store(int64(s.Pending))
-	atomicMax(&p.c.queueMax, int64(s.Pending))
+	sum := p.c.queueSum.Add(int64(s.Pending) - p.lastPending)
+	p.lastPending = int64(s.Pending)
+	atomicMax(&p.c.queueMax, sum)
 	atomicMax(&p.c.vtimeMax, s.VNow.UnixNano())
 }
 
@@ -162,6 +178,53 @@ func (c *Collector) Attach(k *sim.Kernel) {
 // AddHosts records n hosts joining a fleet (shown by the progress
 // ticker and the manifest).
 func (c *Collector) AddHosts(n int) { c.hosts.Add(int64(n)) }
+
+// SetPartitions records the partition count of the current sharded
+// world (DESIGN.md §14). Shown by the progress ticker and stamped into
+// the manifest; 0 means the run never built a partitioned world.
+func (c *Collector) SetPartitions(n int) { c.partitions.Store(int64(n)) }
+
+// Partitions returns the recorded partition count (0 when the run is
+// unpartitioned).
+func (c *Collector) Partitions() int64 { return c.partitions.Load() }
+
+// RecordPartition accumulates one shard's epoch-window advance: steps
+// executed and wall time spent, keyed by partition index. The fleet
+// runner feeds it after each RunUntil from sim.PartitionSet.Stats().
+// Values are cumulative totals, so feeding a monotone stats snapshot
+// repeatedly keeps the record correct (the map overwrites per index).
+func (c *Collector) RecordPartition(idx int, steps uint64, wall time.Duration) {
+	c.mu.Lock()
+	if c.parts == nil {
+		c.parts = make(map[int]*PartitionWall)
+	}
+	p := c.parts[idx]
+	if p == nil {
+		p = &PartitionWall{Index: idx}
+		c.parts[idx] = p
+	}
+	p.Steps = steps
+	p.Wall = wall
+	c.mu.Unlock()
+}
+
+// PartitionWalls returns the per-shard wall records sorted by partition
+// index (empty for unpartitioned runs).
+func (c *Collector) PartitionWalls() []PartitionWall {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]PartitionWall, 0, len(c.parts))
+	for i := 0; i < len(c.parts); i++ {
+		if p, ok := c.parts[i]; ok {
+			out = append(out, *p)
+		}
+	}
+	return out
+}
+
+// QueueDepth returns the current summed queue depth across all sampled
+// kernels (the progress ticker's "queue" gauge).
+func (c *Collector) QueueDepth() int64 { return c.queueSum.Load() }
 
 // SetTotalExperiments sizes the progress ticker's "done/total" gauge.
 func (c *Collector) SetTotalExperiments(n int) { c.expTotal.Store(int64(n)) }

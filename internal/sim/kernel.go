@@ -316,6 +316,16 @@ func (k *Kernel) OpenSpan(cat Category, actor, msg, vector string, tags ...obs.T
 // Pending reports how many events are waiting in the queue.
 func (k *Kernel) Pending() int { return len(k.queue) }
 
+// NextEventAt returns the virtual timestamp of the earliest queued
+// event, or false when the queue is empty. The epoch coordinator uses
+// it to skip idle stretches in one hop (partition.go).
+func (k *Kernel) NextEventAt() (time.Time, bool) {
+	if len(k.queue) == 0 {
+		return time.Time{}, false
+	}
+	return k.queue[0].at, true
+}
+
 // PoolStat is the event free list's get/put ledger. Gets (Hits+Misses)
 // count Schedule calls; Puts count events returned to the pool — fired,
 // cancelled, or released by an aborted run. Once a kernel is fully wound

@@ -1,0 +1,363 @@
+package sim
+
+// Partitioned deterministic execution (DESIGN.md §14).
+//
+// A PartitionSet couples P independent kernels — one per world shard
+// (site, LAN, enclave) — into a single simulation that can advance on
+// multiple OS threads without giving up the byte-determinism contract.
+// The scheme is conservative epoch synchronization:
+//
+//   - every partition runs its own events locally inside the window
+//     (epoch, epoch+Δ]; partitions share no mutable state during a
+//     window, so the workers never contend;
+//   - cross-partition traffic (internet dispatch, C&C beacons, USB
+//     carries between sites) is not delivered synchronously: the sender
+//     enqueues a Message stamped (At = send vtime, From = sender index,
+//     Seq = per-sender counter) into its outbox;
+//   - at the window's end every worker parks on a barrier; the
+//     coordinator sorts all outboxes by (At, From, Seq) and schedules
+//     each message onto its destination kernel at the boundary time, in
+//     that order, before any partition resumes.
+//
+// Delivery order is therefore a pure function of virtual time and the
+// per-sender counters — never of which worker finished first — so the
+// number of workers advancing the set only controls wall-clock
+// concurrency, exactly like AddHostsSharded's build workers. The
+// logical partition layout itself is part of the scenario: changing it
+// changes the simulated world (different kernels, RNG streams and span
+// sequences), while changing the worker count never changes a byte.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Message is one cross-partition payload, exchanged at an epoch
+// boundary. At is the sender's virtual clock when Send was called; the
+// message is delivered at the first window boundary at or after At,
+// so cross-partition latency is bounded by the set's epoch Δ.
+type Message struct {
+	At      time.Time // sender's virtual time at Send
+	From    int       // sending partition index
+	Seq     uint64    // per-sender send counter (starts at 1)
+	Kind    string    // routing tag for the destination's handler
+	Payload any
+}
+
+// routed is an outbox entry: a Message plus its destination.
+type routed struct {
+	to  int
+	msg Message
+}
+
+// Partition is one shard of a partitioned simulation: a kernel plus its
+// mailbox plumbing. Obtain one from PartitionSet.Add.
+type Partition struct {
+	K   *Kernel
+	set *PartitionSet
+	idx int
+
+	seq     uint64 // stamps outgoing messages
+	outbox  []routed
+	deliver func(Message)
+
+	wall time.Duration // wall-clock plane: time spent advancing this shard
+}
+
+// Index returns the partition's position in the set. Indices are
+// assigned in Add order and are part of the deterministic message
+// ordering, so partitioned scenarios must Add shards in a fixed order.
+func (p *Partition) Index() int { return p.idx }
+
+// Send enqueues a cross-partition message for delivery at the end of
+// the current epoch window. It must be called from the partition's own
+// kernel (inside one of its event callbacks, or between runs on the
+// coordinating goroutine) — the outbox is not locked, the barrier is
+// the only synchronization. Sending to the own partition is a bug:
+// local work is just ScheduleAt.
+func (p *Partition) Send(to int, kind string, payload any) {
+	if to < 0 || to >= len(p.set.parts) {
+		panic(fmt.Sprintf("sim: partition %d sends %q to out-of-range partition %d", p.idx, kind, to))
+	}
+	if to == p.idx {
+		panic(fmt.Sprintf("sim: partition %d sends %q to itself; use ScheduleAt", p.idx, kind))
+	}
+	p.seq++
+	p.outbox = append(p.outbox, routed{to: to, msg: Message{
+		At: p.K.Now(), From: p.idx, Seq: p.seq, Kind: kind, Payload: payload,
+	}})
+}
+
+// Sent reports how many cross-partition messages this partition has
+// enqueued so far (delivered or not).
+func (p *Partition) Sent() uint64 { return p.seq }
+
+// OnDeliver installs the partition's mailbox handler. Delivered
+// messages run as ordinary kernel events on the partition's own kernel
+// (virtual time = the window boundary), so handlers may schedule,
+// trace, open spans, and touch any state owned by the partition.
+func (p *Partition) OnDeliver(fn func(Message)) { p.deliver = fn }
+
+// PartitionStat is one shard's share of a partitioned run, on the
+// wall-clock telemetry plane (the Steps count is deterministic; Wall is
+// real time and feeds runstats manifests, never drift-gated artefacts).
+type PartitionStat struct {
+	Steps uint64        // events executed by the shard's kernel
+	Wall  time.Duration // wall-clock spent advancing the shard
+	Sent  uint64        // cross-partition messages enqueued
+}
+
+// PartitionSet advances P kernels in lock-step epoch windows with
+// deterministic mailbox exchange at every boundary. The zero value is
+// not usable; construct with NewPartitionSet.
+type PartitionSet struct {
+	epoch time.Duration
+	parts []*Partition
+}
+
+// NewPartitionSet returns an empty set with the given epoch width Δ.
+// Δ is part of the scenario definition (like a seed): it bounds
+// cross-partition latency and therefore shapes delivery times.
+func NewPartitionSet(epoch time.Duration) *PartitionSet {
+	if epoch <= 0 {
+		panic(fmt.Sprintf("sim: NewPartitionSet with non-positive epoch %v", epoch))
+	}
+	return &PartitionSet{epoch: epoch}
+}
+
+// Epoch returns the set's window width Δ.
+func (ps *PartitionSet) Epoch() time.Duration { return ps.epoch }
+
+// Len returns the number of partitions added so far.
+func (ps *PartitionSet) Len() int { return len(ps.parts) }
+
+// Add registers a kernel as the next partition (index = current Len)
+// and returns its handle. All partitions must be added before the
+// first RunUntil call, in a fixed scenario-defined order.
+func (ps *PartitionSet) Add(k *Kernel) *Partition {
+	p := &Partition{K: k, set: ps, idx: len(ps.parts)}
+	ps.parts = append(ps.parts, p)
+	return p
+}
+
+// Partition returns the handle at index i.
+func (ps *PartitionSet) Partition(i int) *Partition { return ps.parts[i] }
+
+// Stats reports each shard's executed-event count, accumulated advance
+// wall time and message count, in partition order.
+func (ps *PartitionSet) Stats() []PartitionStat {
+	out := make([]PartitionStat, len(ps.parts))
+	for i, p := range ps.parts {
+		out[i] = PartitionStat{Steps: p.K.Steps(), Wall: p.wall, Sent: p.seq}
+	}
+	return out
+}
+
+// earliestEvent returns the earliest queued event time across all
+// partitions.
+func (ps *PartitionSet) earliestEvent() (time.Time, bool) {
+	var best time.Time
+	found := false
+	for _, p := range ps.parts {
+		if at, ok := p.K.NextEventAt(); ok && (!found || at.Before(best)) {
+			best, found = at, true
+		}
+	}
+	return best, found
+}
+
+// RunUntil advances every partition to the deadline in epoch windows,
+// delivering cross-partition mail at each boundary, using up to
+// `workers` OS threads per window (<= 1 runs on the calling goroutine).
+// The worker count never changes simulation bytes. Idle stretches are
+// skipped in one hop: a window always opens at the earliest queued
+// event across the set.
+//
+// If any partition's run is torn down by CancelRun — the supervisor's
+// cancel path (DESIGN.md §13) — the cancellation fans out to every
+// sibling partition, each shard releases its pending events back to
+// its pool, and the first abort re-panics on the calling goroutine as
+// a *Cancelled, exactly like a single-kernel supervised run.
+func (ps *PartitionSet) RunUntil(deadline time.Time, workers int) error {
+	for {
+		ps.abortIfCancelRequested()
+		next, ok := ps.earliestEvent()
+		if !ok || next.After(deadline) {
+			break
+		}
+		end := next.Add(ps.epoch)
+		if end.After(deadline) {
+			end = deadline
+		}
+		if err := ps.advance(end, workers); err != nil {
+			return err
+		}
+		ps.deliverAll(end)
+	}
+	// Nothing left at or before the deadline: advance every clock to it.
+	for _, p := range ps.parts {
+		if err := p.K.RunUntil(deadline); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// advance runs every partition's kernel to the window end, fanning the
+// shards across a bounded worker pool. Workers recover *Cancelled
+// panics (a panic on a bare goroutine would kill the process); the
+// coordinator then fans the cancellation out and re-panics.
+func (ps *PartitionSet) advance(end time.Time, workers int) error {
+	errs := make([]error, len(ps.parts))
+	panics := make([]any, len(ps.parts))
+	run := func(i int) {
+		p := ps.parts[i]
+		t0 := time.Now()
+		defer func() {
+			p.wall += time.Since(t0)
+			if r := recover(); r != nil {
+				panics[i] = r
+			}
+		}()
+		errs[i] = p.K.RunUntil(end)
+	}
+	if workers <= 1 || len(ps.parts) == 1 {
+		for i := range ps.parts {
+			run(i)
+		}
+	} else {
+		if workers > len(ps.parts) {
+			workers = len(ps.parts)
+		}
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					run(i)
+				}
+			}()
+		}
+		for i := range ps.parts {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for i := range ps.parts {
+		if panics[i] != nil {
+			ps.abortAll(i, panics[i])
+		}
+	}
+	for i := range ps.parts {
+		if errs[i] != nil {
+			return errs[i]
+		}
+	}
+	return nil
+}
+
+// abortIfCancelRequested promptly honours a CancelRun that landed while
+// the set was between windows (or on an idle shard that would never
+// step again): it fans out and unwinds just like a mid-window abort.
+func (ps *PartitionSet) abortIfCancelRequested() {
+	for i, p := range ps.parts {
+		if p.K.CancelRequested() {
+			ps.abortAll(i, nil)
+		}
+	}
+}
+
+// abortAll tears the whole set down after partition `first` aborted
+// (cause is its recovered panic) or was found with a cancel pending
+// (cause nil): every sibling gets the cancellation, every shard
+// releases its pending events back to its pool (the supervisor's leak
+// audit spans all partition kernels), and the abort unwinds to the
+// caller. Non-Cancelled panics propagate as-is without cancelling
+// siblings — a programming error must not be dressed up as a
+// supervised abort.
+func (ps *PartitionSet) abortAll(first int, cause any) {
+	cc, isCancel := cause.(*Cancelled)
+	if cause == nil {
+		// Materialise the pending cancel into a *Cancelled so the fan-out
+		// carries the original cause.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if c, ok := r.(*Cancelled); ok {
+						cc, isCancel = c, true
+					} else {
+						cause = r
+					}
+				}
+			}()
+			ps.parts[first].K.abortIfCancelled()
+		}()
+		if !isCancel && cause == nil {
+			return // the cancel raced away; nothing to unwind
+		}
+	}
+	if !isCancel {
+		panic(cause)
+	}
+	for j, sib := range ps.parts {
+		if j != first {
+			sib.K.CancelRun(cc.Cause)
+		}
+	}
+	for j, sib := range ps.parts {
+		if j == first {
+			continue
+		}
+		func() {
+			defer func() { _ = recover() }()
+			sib.K.abortIfCancelled()
+		}()
+	}
+	panic(cc)
+}
+
+// deliverAll is the epoch barrier's mailbox exchange: every outbox
+// entry is sorted by (At, From, Seq) and scheduled onto its destination
+// kernel at the boundary time `at`, in that order. It runs on the
+// coordinating goroutine with every worker parked, so no locking is
+// needed — and the resulting schedule sequence on each destination is
+// a pure function of simulation state.
+func (ps *PartitionSet) deliverAll(at time.Time) {
+	total := 0
+	for _, p := range ps.parts {
+		total += len(p.outbox)
+	}
+	if total == 0 {
+		return
+	}
+	all := make([]routed, 0, total)
+	for _, p := range ps.parts {
+		all = append(all, p.outbox...)
+		p.outbox = p.outbox[:0]
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].msg, all[j].msg
+		if !a.At.Equal(b.At) {
+			return a.At.Before(b.At)
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.Seq < b.Seq
+	})
+	for _, r := range all {
+		dst := ps.parts[r.to]
+		if dst.deliver == nil {
+			panic(fmt.Sprintf("sim: partition %d received %q from partition %d with no OnDeliver handler",
+				r.to, r.msg.Kind, r.msg.From))
+		}
+		m := r.msg
+		fn := dst.deliver
+		dst.K.ScheduleAt(at, "partition:mail:"+m.Kind, func() { fn(m) })
+	}
+}
